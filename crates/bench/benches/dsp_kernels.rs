@@ -1,0 +1,44 @@
+//! Criterion bench of the DSP substrate: FFT sizes, the reference DSCF
+//! (eq. 3) and the Section 2 cost relation between them (the DSCF costs
+//! `¼K²` complex multiplications versus `½K·log2 K` for the FFT — 16× for
+//! K = 256).
+
+use cfd_dsp::fft::fft;
+use cfd_dsp::scf::{dscf_reference, ScfParams};
+use cfd_dsp::signal::awgn;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for size in [64usize, 256, 1024] {
+        let signal = awgn(size, 1.0, size as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| fft(&signal).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dscf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dscf_reference");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    // The cost grows with the square of the grid size; the 127x127 paper
+    // grid is included to expose the 16x-over-FFT relation of Section 2.
+    for (fft_len, max_offset) in [(64usize, 15usize), (128, 31), (256, 63)] {
+        let params = ScfParams::new(fft_len, max_offset, 1).unwrap();
+        let signal = awgn(params.samples_needed(), 1.0, 77);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}x{}", 2 * max_offset + 1, 2 * max_offset + 1)),
+            &params,
+            |b, params| {
+                b.iter(|| dscf_reference(&signal, params).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_dscf);
+criterion_main!(benches);

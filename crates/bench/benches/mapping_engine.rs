@@ -1,0 +1,47 @@
+//! Criterion bench of the Step-1 mapping engine: dependence-graph
+//! construction and conflict checking, the systolic-array functional
+//! simulation and the folded-array functional simulation.
+
+use cfd_dsp::scf::{block_spectra, ScfParams};
+use cfd_dsp::signal::awgn;
+use cfd_mapping::dg::DependenceGraph;
+use cfd_mapping::folding::FoldedArray;
+use cfd_mapping::systolic::SystolicArray;
+use cfd_mapping::transform::SpaceTimeMapping;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping_engine");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+
+    group.bench_function("dg_conflict_check_31x31x4", |b| {
+        let dg = DependenceGraph::new(15, 4);
+        let mapping = SpaceTimeMapping::paper_step1();
+        b.iter(|| mapping.check_conflict_free(&dg).unwrap());
+    });
+
+    let params = ScfParams::new(64, 15, 2).unwrap();
+    let signal = awgn(params.samples_needed(), 1.0, 5);
+    let spectra = block_spectra(&signal, &params).unwrap();
+
+    group.bench_function("systolic_array_31x31", |b| {
+        b.iter(|| {
+            let mut array = SystolicArray::new(15, 64);
+            array.run(&spectra)
+        });
+    });
+
+    for cores in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("folded_array_31x31_cores", cores), &cores, |b, &cores| {
+            b.iter(|| {
+                let mut array = FoldedArray::new(15, 64, cores).unwrap();
+                array.run(&spectra)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench behind Table 1: the per-kernel cost of one integration
+//! step on one Montium tile (FFT, reshuffle, initialisation, the MAC sweep,
+//! and the whole step), measured as host execution time of the cycle-level
+//! simulation. The simulated cycle counts themselves are printed by the
+//! `table1` binary; this bench tracks the simulator's own performance.
+
+use cfd_dsp::signal::awgn;
+use criterion::{criterion_group, criterion_main, Criterion};
+use montium_sim::kernels::{configure_tile, run_dscf_block, run_integration_step, TileTaskSet};
+use montium_sim::MontiumCore;
+use std::time::Duration;
+
+fn bench_table1_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_kernels");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+
+    let samples = awgn(256, 1.0, 42);
+    let task_set = TileTaskSet::paper(0).unwrap();
+
+    group.bench_function("fft_256_on_tile", |b| {
+        let mut tile = MontiumCore::paper();
+        b.iter(|| tile.fft(&samples).unwrap().0);
+    });
+
+    group.bench_function("reshuffle_256", |b| {
+        let mut tile = MontiumCore::paper();
+        let (spectrum, _) = tile.fft(&samples).unwrap();
+        b.iter(|| tile.reshuffle(&spectrum).0);
+    });
+
+    group.bench_function("dscf_mac_sweep_127x32", |b| {
+        let mut tile = MontiumCore::paper();
+        configure_tile(&mut tile, &task_set).unwrap();
+        let (spectrum, _) = tile.fft(&samples).unwrap();
+        b.iter(|| {
+            tile.reset_measurements();
+            run_dscf_block(&mut tile, &task_set, &spectrum).unwrap();
+        });
+    });
+
+    group.bench_function("full_integration_step", |b| {
+        let mut tile = MontiumCore::paper();
+        configure_tile(&mut tile, &task_set).unwrap();
+        b.iter(|| {
+            tile.reset_measurements();
+            run_integration_step(&mut tile, &task_set, &samples).unwrap()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_kernels);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! The detector study behind the paper's motivation: cyclostationary feature
+//! detection versus the energy detector of [7], with and without noise
+//! -floor uncertainty, across SNR.
+//!
+//! Run with: `cargo run --release -p cfd-bench --bin detector_comparison`
+
+use cfd_bench::header;
+use cfd_dsp::detector::{CyclostationaryDetector, EnergyDetector};
+use cfd_dsp::metrics::Scenario;
+use cfd_dsp::scf::ScfParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("CFD vs energy detection (golden-model study)");
+    let params = ScfParams::new(32, 7, 80)?;
+    let cfd = CyclostationaryDetector::new(params.clone(), 0.35, 1)?;
+
+    println!("observation: {} samples, BPSK with 4 samples/symbol, 30 trials/point\n", params.samples_needed());
+    println!("                       calibrated noise          1 dB noise uncertainty");
+    println!("snr [dB]   CFD Pd  CFD Pfa  ED Pd  ED Pfa   CFD Pd  CFD Pfa  ED Pd  ED Pfa");
+    for snr_db in [-4.0, -2.0, 0.0, 2.0, 5.0] {
+        let calibrated = Scenario {
+            observation_len: params.samples_needed(),
+            snr_db,
+            samples_per_symbol: 4,
+            trials: 30,
+            noise_power: 1.0,
+            seed: 7,
+            ..Default::default()
+        };
+        let uncertain = Scenario {
+            noise_power: 1.26,
+            ..calibrated.clone()
+        };
+        let energy = EnergyDetector::new(1.0, 0.05, params.samples_needed())?;
+        let c_cal = calibrated.evaluate(&cfd)?;
+        let e_cal = calibrated.evaluate(&energy)?;
+        let c_unc = uncertain.evaluate(&cfd)?;
+        let e_unc = uncertain.evaluate(&energy)?;
+        println!(
+            "{snr_db:>8.1}   {:>5.2}  {:>7.2}  {:>5.2}  {:>6.2}   {:>6.2}  {:>7.2}  {:>5.2}  {:>6.2}",
+            c_cal.detection, c_cal.false_alarm, e_cal.detection, e_cal.false_alarm,
+            c_unc.detection, c_unc.false_alarm, e_unc.detection, e_unc.false_alarm
+        );
+    }
+    println!(
+        "\nWith a perfectly known noise floor the energy detector is competitive; a 1 dB\n\
+         calibration error destroys its false-alarm rate while the cyclic-feature\n\
+         statistic is unaffected — the reason CFD is 'the most promising but\n\
+         computationally intensive alternative' that the paper maps onto the tiled SoC."
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Reproduces **Figures 10 and 11**: the resources of a Montium core and the
+//! assignment of the CFD kernel to them (M01–M08 accumulation, M09/M10
+//! communication shift registers, ALU, register files, interconnect).
+//!
+//! Run with: `cargo run -p cfd-bench --bin fig10_fig11_montium`
+
+use cfd_bench::header;
+use cfd_dsp::signal::awgn;
+use montium_sim::interconnect::InterconnectConfig;
+use montium_sim::kernels::{configure_tile, run_integration_step, TileTaskSet};
+use montium_sim::{MontiumConfig, MontiumCore};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("Figure 10: overview of a Montium core");
+    let config = MontiumConfig::paper();
+    println!("memories            : {} x {} words of 16 bit (M01..M{:02})", config.num_memories, config.words_per_memory, config.num_memories);
+    println!("register files      : {} (RF01..RF{:02}), {} registers each", config.num_register_files, config.num_register_files, config.registers_per_file);
+    println!("ALU                 : complex, 1 complex multiplication per clock cycle");
+    println!("clock               : {} MHz", config.clock_mhz);
+    println!("area                : {} mm^2 (0.13 um CMOS12)", config.area_mm2);
+    println!("typical power       : {} uW/MHz ({} mW at {} MHz)", config.power_uw_per_mhz, config.power_mw(), config.clock_mhz);
+
+    header("Figure 11: CFD mapped onto the Montium core");
+    println!("M01-M08 : T*F = 4064 complex accumulation values (integration over n)");
+    println!("M09     : conjugate-flow shift register, 32 complex values");
+    println!("M10     : direct-flow shift register, 32 complex values");
+    println!("ALU     : complex multiply-accumulate, 3 clock cycles per MAC");
+    println!("CCC     : inter-tile communication at 1/T of the computation rate");
+    println!("\ninterconnect configuration of the kernel:");
+    for connection in InterconnectConfig::cfd_kernel(10).connections() {
+        println!("  {connection}");
+    }
+
+    header("One integration step executed on the modelled core");
+    let mut tile = MontiumCore::paper();
+    let task_set = TileTaskSet::paper(0)?;
+    configure_tile(&mut tile, &task_set)?;
+    let run = run_integration_step(&mut tile, &task_set, &awgn(256, 1.0, 5))?;
+    println!("{}", tile.sequencer().render_table());
+    println!("ALU statistics: {:?}", tile.alu_stats());
+    println!("memory accesses: {} reads, {} writes", tile.memories().total_reads(), tile.memories().total_writes());
+    println!("elapsed: {:.2} us", tile.config().cycles_to_us(run.cycles.total()));
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Reproduces **Figure 1**: the structure of the DSCF computation for a
+//! single `n` — which spectral value (solid line) and which conjugated value
+//! (dotted line) feed each multiplication, for `f = 0..3` and `a = -3..3`.
+//!
+//! Run with: `cargo run -p cfd-bench --bin fig1_structure`
+
+use cfd_bench::header;
+use cfd_mapping::dg::{fig1_structure, operand_fanout};
+
+fn main() {
+    header("Figure 1: multiplication structure for a single n (f = 0..3, a = -3..3)");
+    let entries = fig1_structure(0..=3, 3);
+    println!("  f   a   solid operand X_(f+a)   dotted operand X*_(f-a)");
+    for entry in &entries {
+        println!(
+            "{:>3} {:>3}   X_{{n,{:+}}}{:<14} X*_{{n,{:+}}}",
+            entry.f, entry.a, entry.direct_index, "", entry.conjugate_index
+        );
+    }
+
+    println!("\nOperand fan-out within one plane (how often each spectral value is consumed):");
+    println!("  index   as X (solid)   as X* (dotted)");
+    for (index, (direct, conjugate)) in operand_fanout(&entries) {
+        println!("{index:>7}   {direct:>12}   {conjugate:>14}");
+    }
+    println!(
+        "\nEvery value with index |v| <= 3 is consumed once per row along a diagonal of\n\
+         constant f-a (dotted) or f+a (solid) — the sharing that Section 3.2 turns into\n\
+         the two register chains of the systolic array."
+    );
+}

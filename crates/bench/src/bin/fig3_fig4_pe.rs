@@ -1,0 +1,47 @@
+//! Reproduces **Figures 3 and 4**: the processing-element structure after
+//! mapping in the `n` dimension (multiplier + integrator register) and after
+//! the additional `f` fold (multiplier + memory of `F` accumulators selected
+//! by the frequency `f = t`).
+//!
+//! Run with: `cargo run -p cfd-bench --bin fig3_fig4_pe`
+
+use cfd_bench::header;
+use cfd_dsp::complex::Cplx;
+use cfd_mapping::pe::{MemoryPe, RegisterPe};
+use cfd_mapping::transform::SpaceTimeMapping;
+use cfd_mapping::vecmat::IVec;
+
+fn main() {
+    header("Figure 3: PE after mapping in the n-dimension (P1/s1)");
+    let step1 = SpaceTimeMapping::paper_step1();
+    let node = IVec::of3(2, -1, 5); // (f, a, n)
+    let (processor, time) = step1.map_vector(&node).unwrap();
+    println!("node (f=2, a=-1, n=5)  ->  processor {processor:?}, time {time}");
+    let mut pe = RegisterPe::new();
+    for n in 0..4 {
+        pe.step(Cplx::new(1.0, n as f64), Cplx::new(0.5, -0.25));
+    }
+    println!(
+        "register PE after 4 integration steps: accumulator = {}, result (S = acc/N) = {}",
+        pe.accumulated(),
+        pe.result()
+    );
+
+    header("Figure 4: PE after mapping in the n- and f-dimensions (P2/s2)");
+    let step2 = SpaceTimeMapping::paper_step2();
+    let (processor, time) = step2.map_vector(&IVec::of2(2, -1)).unwrap();
+    println!("node (f=2, a=-1)  ->  processor (a) {processor:?}, time (f) {time}");
+    let mut pe = MemoryPe::new(7);
+    for f_slot in 0..7 {
+        pe.step(f_slot, Cplx::new(f_slot as f64, 0.0), Cplx::ONE);
+    }
+    println!(
+        "memory PE serves all {} frequencies of one offset; storage = {} complex words (= F)",
+        pe.num_frequencies(),
+        pe.storage_complex_words()
+    );
+    println!("memory contents (one accumulator per frequency):");
+    for f_slot in 0..7 {
+        println!("  f-slot {f_slot}: {}", pe.result(f_slot));
+    }
+}

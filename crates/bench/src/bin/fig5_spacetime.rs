@@ -1,0 +1,45 @@
+//! Reproduces **Figure 5**: the space–time-delay diagram of the conjugated
+//! -value flow after removing the absolute-time dependence with matrix
+//! `P2a1`, for the paper's illustration (M = 3) and, in summary form, for
+//! the full evaluation size (M = 63).
+//!
+//! Run with: `cargo run -p cfd-bench --bin fig5_spacetime`
+
+use cfd_bench::header;
+use cfd_mapping::spacetime::{Flow, SpaceTimeDiagram};
+use cfd_mapping::vecmat::{paper, IVec};
+
+fn main() {
+    header("Figure 5: space-time delay diagram of the conjugate flow (M = 3)");
+    let diagram = SpaceTimeDiagram::figure5();
+    print!("{}", diagram.render());
+    println!("trajectory of X*_(n,3): (processor, delay) pairs");
+    for entry in diagram.trajectory(3) {
+        println!("  processor {:>3}, delta-t {:>2}", entry.processor, entry.delay);
+    }
+
+    println!("\nThe transformation that produces it (eq. 6):");
+    for (name, matrix) in [("P2a1 (dotted lines)", paper::p2a1()), ("P2a2 (solid lines)", paper::p2a2())] {
+        let mapped = matrix.apply_transposed(&IVec::of2(4, 1)).unwrap();
+        println!("  {name}: node (f=4, a=1) -> (delta-t, processor) = {mapped}");
+    }
+
+    header("Same construction at the evaluation size (M = 63)");
+    let full = SpaceTimeDiagram::new(Flow::Conjugate, 63, 0..4);
+    println!(
+        "processors -63..63, max delay {} cycles, register chain length {}",
+        full.max_delay(),
+        full.register_chain_length()
+    );
+    let direct = SpaceTimeDiagram::new(Flow::Direct, 63, 0..4);
+    println!(
+        "direct flow runs in the opposite direction: first use at processor {}, last at {}",
+        direct.trajectory(0).iter().find(|e| e.delay == 0).unwrap().processor,
+        direct
+            .trajectory(0)
+            .iter()
+            .max_by_key(|e| e.delay)
+            .unwrap()
+            .processor
+    );
+}

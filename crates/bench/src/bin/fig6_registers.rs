@@ -1,0 +1,41 @@
+//! Reproduces **Figure 6**: the minimal register structure realising the
+//! space–time-delay requirements of the conjugated-value flow — one register
+//! per processor boundary, values travelling one hop per clock.
+//!
+//! Run with: `cargo run -p cfd-bench --bin fig6_registers`
+
+use cfd_bench::header;
+use cfd_mapping::spacetime::{Flow, SpaceTimeDiagram};
+use cfd_mapping::systolic::SystolicArray;
+
+fn main() {
+    header("Figure 6: minimal register structure for the conjugate flow");
+    for max_offset in [3usize, 63] {
+        let diagram = SpaceTimeDiagram::new(Flow::Conjugate, max_offset, 0..1);
+        let architecture = SystolicArray::new(max_offset, 4 * max_offset.max(4)).architecture();
+        println!("\nM = {max_offset} ({} processors):", architecture.num_processors);
+        println!(
+            "  registers in the conjugate chain: {} (one per processor boundary)",
+            architecture.conjugate_registers
+        );
+        println!(
+            "  a value entering at processor -{max_offset} reaches processor +{max_offset} after {} clock cycles",
+            diagram.max_delay()
+        );
+        // The structure itself: PE -[reg]- PE -[reg]- ... for the small case.
+        if max_offset == 3 {
+            let mut line = String::from("  structure: ");
+            for a in -(max_offset as i32)..=(max_offset as i32) {
+                line.push_str(&format!("PE({a:+})"));
+                if a < max_offset as i32 {
+                    line.push_str(" -[reg]-> ");
+                }
+            }
+            println!("{line}");
+        }
+    }
+    println!(
+        "\n(The solid-line/direct flow uses an identical chain in the opposite direction;\n\
+         Figure 7 combines both.)"
+    );
+}

@@ -1,0 +1,64 @@
+//! Reproduces **Figures 8 and 9**: the processing core after folding `T`
+//! tasks onto one physical processor (shift registers + synchronised
+//! switches) and the resulting architecture with multiple tasks per core —
+//! including the eq. 8/9 task assignment and the communication-rate
+//! argument of Section 4.
+//!
+//! Run with: `cargo run -p cfd-bench --bin fig8_fig9_folding`
+
+use cfd_bench::{header, licensed_user};
+use cfd_dsp::scf::{block_spectra, dscf_reference, ScfParams};
+use cfd_mapping::folding::{FoldedArray, Folding, SwitchSchedule};
+use cfd_mapping::memory::{MemoryRequirement, ShiftRegisterRequirement};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("Figure 8/9: folding the array onto Q processing cores (eqs. 8-9)");
+
+    // The paper's illustration uses T = 4; its evaluation uses P=127, Q=4.
+    for (p, q) in [(15usize, 4usize), (127, 4)] {
+        let folding = Folding::new(p, q)?;
+        println!("\nP = {p} initial tasks onto Q = {q} cores:");
+        println!("  T = ceil(P/Q) = {}", folding.tasks_per_core);
+        for core in 0..q {
+            let tasks = folding.tasks_of_core(core);
+            println!(
+                "  core {core}: tasks {:>3}..{:<3} ({} tasks, offsets a = {:+}..{:+})",
+                tasks.start,
+                tasks.end - 1,
+                folding.load_of_core(core),
+                tasks.start as i32 - (p as i32 - 1) / 2,
+                tasks.end as i32 - 1 - (p as i32 - 1) / 2,
+            );
+        }
+        let schedule = SwitchSchedule::new(folding.tasks_per_core.min(8));
+        println!("  switch tap sequence per frequency step (first {} taps): {:?}", schedule.slots_per_shift(), schedule.sequence());
+        let memory = MemoryRequirement::new(&folding, p, 16);
+        let shift = ShiftRegisterRequirement::new(&folding);
+        println!(
+            "  per-core storage: {} complex accumulators (T*F), {} complex values per shift register",
+            memory.complex_values(),
+            shift.complex_values_per_flow()
+        );
+    }
+
+    header("Functional verification of the folded architecture (M = 15, Q = 4)");
+    let params = ScfParams::new(64, 15, 3)?;
+    let signal = licensed_user(&params, 3.0, 21);
+    let reference = dscf_reference(&signal, &params)?;
+    let spectra = block_spectra(&signal, &params)?;
+    let mut folded = FoldedArray::new(params.max_offset, params.fft_len, 4)?;
+    let (result, stats) = folded.run(&spectra);
+    println!("MACs per core            : {:?}", stats.macs_per_core);
+    println!("inter-core transfers     : {}", stats.inter_core_transfers);
+    println!("external inputs          : {}", stats.external_inputs);
+    println!(
+        "compute / communication  : {:.1} (T = {} -> the paper's 'factor T lower rate' claim)",
+        stats.compute_to_communication_ratio() * 2.0,
+        folded.folding().tasks_per_core
+    );
+    println!(
+        "max |folded - reference| : {:.3e}",
+        result.max_abs_difference(&reference)
+    );
+    Ok(())
+}

@@ -1,0 +1,461 @@
+//! Spectrum-sensing detectors.
+//!
+//! Section 1 of the paper positions Cyclostationary Feature Detection (CFD)
+//! as "the most promising but computationally intensive alternative" among
+//! the spectrum-sensing options of Cabric et al. [7], the simplest of which
+//! is the energy detector. Section 2 describes CFD as "a combination of an
+//! energy detector and a single correlator block".
+//!
+//! This module implements both:
+//!
+//! * [`EnergyDetector`] — the baseline: compares the average received power
+//!   against a threshold derived from the noise floor.
+//! * [`CyclostationaryDetector`] — the paper's application: evaluates the
+//!   DSCF and thresholds the strongest cyclic feature (offset `a ≠ 0`)
+//!   relative to the `a = 0` ridge, which makes the statistic insensitive to
+//!   the absolute noise level (the classic robustness argument for CFD).
+
+use crate::complex::Cplx;
+use crate::error::DspError;
+use crate::scf::{dscf_reference, ScfMatrix, ScfParams};
+use crate::signal::signal_power;
+
+/// Outcome of a detection decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Decision {
+    /// The band is declared occupied by a licensed user.
+    SignalPresent,
+    /// The band is declared vacant.
+    NoiseOnly,
+}
+
+impl Decision {
+    /// Convenience conversion to a boolean ("signal present?").
+    pub fn is_signal(self) -> bool {
+        matches!(self, Decision::SignalPresent)
+    }
+}
+
+/// The result of running a detector on one observation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DetectionOutcome {
+    /// The scalar test statistic that was compared against the threshold.
+    pub statistic: f64,
+    /// The threshold used.
+    pub threshold: f64,
+    /// The resulting decision.
+    pub decision: Decision,
+}
+
+/// Trait implemented by spectrum-sensing detectors.
+pub trait Detector {
+    /// Computes the detector's scalar test statistic for an observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DspError`] if the observation is too short or otherwise
+    /// unusable for this detector.
+    fn statistic(&self, samples: &[Cplx]) -> Result<f64, DspError>;
+
+    /// The decision threshold.
+    fn threshold(&self) -> f64;
+
+    /// Runs the full detection: statistic, comparison, decision.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Detector::statistic`].
+    fn detect(&self, samples: &[Cplx]) -> Result<DetectionOutcome, DspError> {
+        let statistic = self.statistic(samples)?;
+        let threshold = self.threshold();
+        Ok(DetectionOutcome {
+            statistic,
+            threshold,
+            decision: if statistic > threshold {
+                Decision::SignalPresent
+            } else {
+                Decision::NoiseOnly
+            },
+        })
+    }
+}
+
+/// Baseline energy detector.
+///
+/// The statistic is the average received power normalised by the assumed
+/// noise power; the threshold is set from the target false-alarm rate using
+/// the Gaussian approximation of the chi-square statistic (valid for the
+/// thousands-of-samples observations used here).
+///
+/// # Examples
+///
+/// ```
+/// use cfd_dsp::detector::{Detector, EnergyDetector};
+/// use cfd_dsp::signal::SignalBuilder;
+///
+/// # fn main() -> Result<(), cfd_dsp::error::DspError> {
+/// let detector = EnergyDetector::new(1.0, 0.01, 4096)?;
+/// let busy = SignalBuilder::new(4096).snr_db(3.0).seed(1).build()?;
+/// assert!(detector.detect(&busy.samples)?.decision.is_signal());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EnergyDetector {
+    noise_power: f64,
+    threshold: f64,
+    num_samples: usize,
+}
+
+impl EnergyDetector {
+    /// Creates an energy detector calibrated for observations of
+    /// `num_samples` samples with known `noise_power`, targeting the given
+    /// false-alarm probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if the noise power is not
+    /// positive, the false-alarm probability is not in `(0, 1)`, or
+    /// `num_samples` is zero.
+    pub fn new(noise_power: f64, false_alarm: f64, num_samples: usize) -> Result<Self, DspError> {
+        if !(noise_power.is_finite() && noise_power > 0.0) {
+            return Err(DspError::InvalidParameter {
+                name: "noise_power",
+                message: format!("must be positive and finite, got {noise_power}"),
+            });
+        }
+        if !(false_alarm > 0.0 && false_alarm < 1.0) {
+            return Err(DspError::InvalidParameter {
+                name: "false_alarm",
+                message: format!("must be in (0, 1), got {false_alarm}"),
+            });
+        }
+        if num_samples == 0 {
+            return Err(DspError::InvalidParameter {
+                name: "num_samples",
+                message: "must be at least 1".into(),
+            });
+        }
+        // Under H0 the normalised statistic has mean 1 and std 1/sqrt(N)
+        // (complex samples: |x|^2/sigma^2 is Exp(1), variance 1).
+        let threshold = 1.0 + inverse_q(false_alarm) / (num_samples as f64).sqrt();
+        Ok(EnergyDetector {
+            noise_power,
+            threshold,
+            num_samples,
+        })
+    }
+
+    /// Creates an energy detector with an explicitly chosen threshold on the
+    /// normalised power statistic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if the noise power is not
+    /// positive and finite.
+    pub fn with_threshold(noise_power: f64, threshold: f64) -> Result<Self, DspError> {
+        if !(noise_power.is_finite() && noise_power > 0.0) {
+            return Err(DspError::InvalidParameter {
+                name: "noise_power",
+                message: format!("must be positive and finite, got {noise_power}"),
+            });
+        }
+        Ok(EnergyDetector {
+            noise_power,
+            threshold,
+            num_samples: 0,
+        })
+    }
+
+    /// The noise power the detector was calibrated with.
+    pub fn noise_power(&self) -> f64 {
+        self.noise_power
+    }
+
+    /// Number of samples the threshold was calibrated for (0 when the
+    /// threshold was set explicitly).
+    pub fn calibrated_samples(&self) -> usize {
+        self.num_samples
+    }
+}
+
+impl Detector for EnergyDetector {
+    fn statistic(&self, samples: &[Cplx]) -> Result<f64, DspError> {
+        if samples.is_empty() {
+            return Err(DspError::InsufficientSamples {
+                needed: 1,
+                available: 0,
+            });
+        }
+        Ok(signal_power(samples) / self.noise_power)
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+/// Cyclostationary feature detector operating on the DSCF.
+///
+/// The statistic is the strongest cyclic feature outside an exclusion zone
+/// around `a = 0`, normalised by the strength of the `a = 0` ridge:
+///
+/// ```text
+/// stat = max_{|a| > guard} max_f |S_f^a|  /  max_f |S_f^0|
+/// ```
+///
+/// Because both numerator and denominator scale with the received power, the
+/// statistic does not depend on the absolute noise level — the property that
+/// makes CFD attractive when the noise floor is uncertain.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CyclostationaryDetector {
+    params: ScfParams,
+    threshold: f64,
+    guard_offsets: usize,
+}
+
+impl CyclostationaryDetector {
+    /// Creates a CFD detector with the given DSCF parameters and threshold
+    /// on the normalised feature strength.
+    ///
+    /// `guard_offsets` excludes offsets `|a| <= guard_offsets` from the
+    /// feature search (the `a = 0` ridge and its leakage).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if the parameters are invalid
+    /// or the guard zone swallows the whole grid.
+    pub fn new(params: ScfParams, threshold: f64, guard_offsets: usize) -> Result<Self, DspError> {
+        params.validate()?;
+        if guard_offsets >= params.max_offset {
+            return Err(DspError::InvalidParameter {
+                name: "guard_offsets",
+                message: format!(
+                    "guard ({guard_offsets}) must be smaller than max_offset ({})",
+                    params.max_offset
+                ),
+            });
+        }
+        if !(threshold.is_finite() && threshold > 0.0) {
+            return Err(DspError::InvalidParameter {
+                name: "threshold",
+                message: format!("must be positive and finite, got {threshold}"),
+            });
+        }
+        Ok(CyclostationaryDetector {
+            params,
+            threshold,
+            guard_offsets,
+        })
+    }
+
+    /// The DSCF parameters this detector evaluates.
+    pub fn params(&self) -> &ScfParams {
+        &self.params
+    }
+
+    /// The guard zone half-width around `a = 0`.
+    pub fn guard_offsets(&self) -> usize {
+        self.guard_offsets
+    }
+
+    /// Computes the normalised feature statistic from an already-computed
+    /// DSCF matrix (e.g. one produced by the tiled-SoC simulation).
+    pub fn statistic_from_scf(&self, scf: &ScfMatrix) -> f64 {
+        feature_statistic(scf, self.guard_offsets)
+    }
+
+    /// Runs the decision on an already-computed DSCF matrix.
+    pub fn detect_from_scf(&self, scf: &ScfMatrix) -> DetectionOutcome {
+        let statistic = self.statistic_from_scf(scf);
+        DetectionOutcome {
+            statistic,
+            threshold: self.threshold,
+            decision: if statistic > self.threshold {
+                Decision::SignalPresent
+            } else {
+                Decision::NoiseOnly
+            },
+        }
+    }
+}
+
+impl Detector for CyclostationaryDetector {
+    fn statistic(&self, samples: &[Cplx]) -> Result<f64, DspError> {
+        let scf = dscf_reference(samples, &self.params)?;
+        Ok(self.statistic_from_scf(&scf))
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+/// The normalised cyclic-feature statistic used by
+/// [`CyclostationaryDetector`]: strongest feature outside the guard zone,
+/// divided by the strength of the `a = 0` ridge.
+pub fn feature_statistic(scf: &ScfMatrix, guard_offsets: usize) -> f64 {
+    let profile = scf.cyclic_profile();
+    let m = scf.max_offset() as i32;
+    let ridge = profile[m as usize].max(f64::MIN_POSITIVE);
+    let mut best = 0.0f64;
+    for (i, &value) in profile.iter().enumerate() {
+        let a = i as i32 - m;
+        if a.unsigned_abs() as usize > guard_offsets {
+            best = best.max(value);
+        }
+    }
+    best / ridge
+}
+
+/// The approximate inverse of the Gaussian Q-function
+/// (`Q(x) = P[N(0,1) > x]`), accurate to about 4.5e-4 over `(0, 0.5]`
+/// (Abramowitz & Stegun 26.2.23). Used to set energy-detector thresholds.
+pub fn inverse_q(probability: f64) -> f64 {
+    assert!(
+        probability > 0.0 && probability < 1.0,
+        "probability must be in (0, 1)"
+    );
+    if probability == 0.5 {
+        return 0.0;
+    }
+    if probability > 0.5 {
+        return -inverse_q(1.0 - probability);
+    }
+    let t = (-2.0 * probability.ln()).sqrt();
+    let numerator = 2.30753 + 0.27061 * t;
+    let denominator = 1.0 + 0.99229 * t + 0.04481 * t * t;
+    t - numerator / denominator
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::{SignalBuilder, SymbolModulation};
+
+    fn busy_observation(snr_db: f64, len: usize, seed: u64) -> Vec<Cplx> {
+        SignalBuilder::new(len)
+            .modulation(SymbolModulation::Bpsk)
+            .samples_per_symbol(4)
+            .snr_db(snr_db)
+            .seed(seed)
+            .build()
+            .unwrap()
+            .samples
+    }
+
+    fn idle_observation(len: usize, seed: u64) -> Vec<Cplx> {
+        SignalBuilder::new(len)
+            .noise_only()
+            .seed(seed)
+            .build()
+            .unwrap()
+            .samples
+    }
+
+    #[test]
+    fn inverse_q_matches_known_values() {
+        // Q(1.2816) ≈ 0.10, Q(2.3263) ≈ 0.01, Q(0) = 0.5.
+        assert!((inverse_q(0.10) - 1.2816).abs() < 5e-3);
+        assert!((inverse_q(0.01) - 2.3263).abs() < 5e-3);
+        assert!(inverse_q(0.5).abs() < 5e-3);
+        assert!((inverse_q(0.9) + inverse_q(0.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn inverse_q_rejects_out_of_range() {
+        inverse_q(0.0);
+    }
+
+    #[test]
+    fn energy_detector_validates_parameters() {
+        assert!(EnergyDetector::new(0.0, 0.1, 100).is_err());
+        assert!(EnergyDetector::new(1.0, 0.0, 100).is_err());
+        assert!(EnergyDetector::new(1.0, 1.0, 100).is_err());
+        assert!(EnergyDetector::new(1.0, 0.1, 0).is_err());
+        assert!(EnergyDetector::with_threshold(-1.0, 1.0).is_err());
+        let d = EnergyDetector::new(2.0, 0.1, 100).unwrap();
+        assert_eq!(d.noise_power(), 2.0);
+        assert_eq!(d.calibrated_samples(), 100);
+    }
+
+    #[test]
+    fn energy_detector_detects_strong_signal_and_not_noise() {
+        let d = EnergyDetector::new(1.0, 0.01, 4096).unwrap();
+        let busy = busy_observation(5.0, 4096, 1);
+        let idle = idle_observation(4096, 2);
+        assert!(d.detect(&busy).unwrap().decision.is_signal());
+        assert!(!d.detect(&idle).unwrap().decision.is_signal());
+        assert!(d.detect(&[]).is_err());
+    }
+
+    #[test]
+    fn energy_detector_false_alarm_rate_is_roughly_calibrated() {
+        let pfa_target = 0.05;
+        let n = 2048;
+        let d = EnergyDetector::new(1.0, pfa_target, n).unwrap();
+        let trials = 400;
+        let mut false_alarms = 0;
+        for seed in 0..trials {
+            let idle = idle_observation(n, 1000 + seed);
+            if d.detect(&idle).unwrap().decision.is_signal() {
+                false_alarms += 1;
+            }
+        }
+        let pfa = false_alarms as f64 / trials as f64;
+        assert!(pfa < 0.15, "pfa = {pfa}");
+    }
+
+    #[test]
+    fn cfd_detector_validates_parameters() {
+        let params = ScfParams::new(32, 7, 16).unwrap();
+        assert!(CyclostationaryDetector::new(params.clone(), 0.3, 7).is_err());
+        assert!(CyclostationaryDetector::new(params.clone(), 0.0, 1).is_err());
+        assert!(CyclostationaryDetector::new(params.clone(), f64::NAN, 1).is_err());
+        let d = CyclostationaryDetector::new(params, 0.3, 1).unwrap();
+        assert_eq!(d.guard_offsets(), 1);
+        assert_eq!(d.params().fft_len, 32);
+    }
+
+    #[test]
+    fn cfd_detects_cyclostationary_signal_and_rejects_noise() {
+        let params = ScfParams::new(32, 7, 64).unwrap();
+        let d = CyclostationaryDetector::new(params.clone(), 0.35, 1).unwrap();
+        let busy = busy_observation(5.0, params.samples_needed(), 3);
+        let idle = idle_observation(params.samples_needed(), 4);
+        let busy_out = d.detect(&busy).unwrap();
+        let idle_out = d.detect(&idle).unwrap();
+        assert!(busy_out.decision.is_signal(), "statistic {}", busy_out.statistic);
+        assert!(!idle_out.decision.is_signal(), "statistic {}", idle_out.statistic);
+        assert!(busy_out.statistic > idle_out.statistic);
+    }
+
+    #[test]
+    fn cfd_statistic_is_scale_invariant() {
+        let params = ScfParams::new(32, 7, 32).unwrap();
+        let d = CyclostationaryDetector::new(params.clone(), 0.35, 1).unwrap();
+        let busy = busy_observation(3.0, params.samples_needed(), 5);
+        let scaled: Vec<Cplx> = busy.iter().map(|&x| x * 7.5).collect();
+        let s1 = d.statistic(&busy).unwrap();
+        let s2 = d.statistic(&scaled).unwrap();
+        assert!((s1 - s2).abs() < 1e-9, "{s1} vs {s2}");
+    }
+
+    #[test]
+    fn detect_from_scf_matches_detect_from_samples() {
+        let params = ScfParams::new(32, 7, 32).unwrap();
+        let d = CyclostationaryDetector::new(params.clone(), 0.35, 1).unwrap();
+        let busy = busy_observation(3.0, params.samples_needed(), 6);
+        let scf = dscf_reference(&busy, &params).unwrap();
+        let from_scf = d.detect_from_scf(&scf);
+        let from_samples = d.detect(&busy).unwrap();
+        assert_eq!(from_scf, from_samples);
+    }
+
+    #[test]
+    fn decision_helpers() {
+        assert!(Decision::SignalPresent.is_signal());
+        assert!(!Decision::NoiseOnly.is_signal());
+    }
+}

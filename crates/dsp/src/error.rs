@@ -1,0 +1,105 @@
+//! Error types for the DSP substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the DSP substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// A transform length was not a power of two.
+    NotPowerOfTwo {
+        /// The offending length.
+        length: usize,
+    },
+    /// Not enough samples were available for the requested operation.
+    InsufficientSamples {
+        /// Number of samples required.
+        needed: usize,
+        /// Number of samples available.
+        available: usize,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+    /// A frequency/offset index was outside the spectrum.
+    IndexOutOfRange {
+        /// Description of the index (e.g. "frequency f").
+        what: &'static str,
+        /// The offending value.
+        value: i64,
+        /// Lowest admissible value.
+        min: i64,
+        /// Highest admissible value.
+        max: i64,
+    },
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::NotPowerOfTwo { length } => {
+                write!(f, "transform length {length} is not a power of two")
+            }
+            DspError::InsufficientSamples { needed, available } => write!(
+                f,
+                "insufficient samples: {needed} needed but only {available} available"
+            ),
+            DspError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            DspError::IndexOutOfRange {
+                what,
+                value,
+                min,
+                max,
+            } => write!(f, "{what} = {value} outside valid range [{min}, {max}]"),
+        }
+    }
+}
+
+impl Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DspError::NotPowerOfTwo { length: 12 };
+        assert!(e.to_string().contains("12"));
+        let e = DspError::InsufficientSamples {
+            needed: 10,
+            available: 4,
+        };
+        assert!(e.to_string().contains("10") && e.to_string().contains('4'));
+        let e = DspError::InvalidParameter {
+            name: "snr",
+            message: "must be finite".into(),
+        };
+        assert!(e.to_string().contains("snr"));
+        let e = DspError::IndexOutOfRange {
+            what: "frequency f",
+            value: 99,
+            min: -63,
+            max: 63,
+        };
+        assert!(e.to_string().contains("99") && e.to_string().contains("-63"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error>(_e: E) {}
+        takes_error(DspError::NotPowerOfTwo { length: 3 });
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+}

@@ -1,0 +1,396 @@
+//! Discrete Fourier transforms.
+//!
+//! The paper applies a K-point DFT (eq. 2) to overlapping blocks of the
+//! sampled signal; with `K = 2^k` this becomes an FFT with
+//! `½·K·log2(K)` complex multiplications, against which the cost of the
+//! DSCF (`¼·K²` complex multiplications) is compared in Section 2.
+//!
+//! This module provides:
+//!
+//! * [`fft_in_place`] / [`ifft_in_place`] — iterative radix-2
+//!   decimation-in-time FFT for power-of-two sizes,
+//! * [`dft_naive`] — an O(K²) direct DFT used as the golden model in tests,
+//! * [`block_spectrum`] — the windowed, time-shifted spectrum
+//!   `X_{n,v}` of eq. 2,
+//! * complexity helpers ([`fft_complex_multiplications`],
+//!   [`dscf_complex_multiplications`]) reproducing the Section 2 cost
+//!   comparison ("16× as many multiplications for a 256-point spectrum").
+
+use crate::complex::Cplx;
+use crate::error::DspError;
+use crate::window::Window;
+use std::f64::consts::PI;
+
+/// Returns `true` if `n` is a power of two (and non-zero).
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && (n & (n - 1)) == 0
+}
+
+/// Bit-reverses the `bits`-bit value `x`.
+#[inline]
+pub fn bit_reverse(x: usize, bits: u32) -> usize {
+    let mut y = 0usize;
+    for i in 0..bits {
+        y |= ((x >> i) & 1) << (bits - 1 - i);
+    }
+    y
+}
+
+/// Permutes `data` into bit-reversed order in place.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn bit_reverse_permute(data: &mut [Cplx]) {
+    let n = data.len();
+    assert!(is_power_of_two(n), "length must be a power of two");
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = bit_reverse(i, bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+///
+/// Computes `X[v] = Σ_k x[k]·exp(-j·2π·k·v/N)` for `N = data.len()`.
+///
+/// # Errors
+///
+/// Returns [`DspError::NotPowerOfTwo`] if the length is not a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use cfd_dsp::complex::Cplx;
+/// use cfd_dsp::fft::fft_in_place;
+///
+/// # fn main() -> Result<(), cfd_dsp::error::DspError> {
+/// let mut data = vec![Cplx::ONE; 8];
+/// fft_in_place(&mut data)?;
+/// assert!((data[0].re - 8.0).abs() < 1e-12); // DC bin holds the sum
+/// assert!(data[1].abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fft_in_place(data: &mut [Cplx]) -> Result<(), DspError> {
+    transform_in_place(data, Direction::Forward)
+}
+
+/// In-place inverse FFT, including the `1/N` normalisation.
+///
+/// # Errors
+///
+/// Returns [`DspError::NotPowerOfTwo`] if the length is not a power of two.
+pub fn ifft_in_place(data: &mut [Cplx]) -> Result<(), DspError> {
+    transform_in_place(data, Direction::Inverse)?;
+    let n = data.len() as f64;
+    for value in data.iter_mut() {
+        *value = *value / n;
+    }
+    Ok(())
+}
+
+/// Convenience wrapper returning a new vector instead of transforming in place.
+///
+/// # Errors
+///
+/// Returns [`DspError::NotPowerOfTwo`] if the length is not a power of two.
+pub fn fft(input: &[Cplx]) -> Result<Vec<Cplx>, DspError> {
+    let mut data = input.to_vec();
+    fft_in_place(&mut data)?;
+    Ok(data)
+}
+
+/// Convenience wrapper around [`ifft_in_place`].
+///
+/// # Errors
+///
+/// Returns [`DspError::NotPowerOfTwo`] if the length is not a power of two.
+pub fn ifft(input: &[Cplx]) -> Result<Vec<Cplx>, DspError> {
+    let mut data = input.to_vec();
+    ifft_in_place(&mut data)?;
+    Ok(data)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Inverse,
+}
+
+fn transform_in_place(data: &mut [Cplx], direction: Direction) -> Result<(), DspError> {
+    let n = data.len();
+    if !is_power_of_two(n) {
+        return Err(DspError::NotPowerOfTwo { length: n });
+    }
+    if n == 1 {
+        return Ok(());
+    }
+    bit_reverse_permute(data);
+
+    let sign = match direction {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+
+    let mut len = 2;
+    while len <= n {
+        let angle_step = sign * 2.0 * PI / len as f64;
+        let w_len = Cplx::cis(angle_step);
+        for start in (0..n).step_by(len) {
+            let mut w = Cplx::ONE;
+            for offset in 0..len / 2 {
+                let even = data[start + offset];
+                let odd = data[start + offset + len / 2] * w;
+                data[start + offset] = even + odd;
+                data[start + offset + len / 2] = even - odd;
+                w *= w_len;
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Direct O(N²) DFT used as a golden model for testing the FFT.
+///
+/// Works for any length, not just powers of two.
+pub fn dft_naive(input: &[Cplx]) -> Vec<Cplx> {
+    let n = input.len();
+    (0..n)
+        .map(|v| {
+            (0..n)
+                .map(|k| input[k] * Cplx::cis(-2.0 * PI * (k * v) as f64 / n as f64))
+                .sum()
+        })
+        .collect()
+}
+
+/// Computes the block spectrum `X_{n,v}` of eq. 2 for the block starting at
+/// sample `n`:
+///
+/// `X_{n,v} = Σ_{k=0..K-1} x[n+k]·w[k]·exp(-j·2π·(n+k)·v/K)`
+///
+/// The paper's eq. 2 uses the absolute sample index `n+k` in the exponent;
+/// the phase factor relative to a block-local DFT is `exp(-j·2π·n·v/K)`,
+/// which this function applies after an FFT of the windowed block. The
+/// window defaults to rectangular in the paper; any [`Window`] may be used.
+///
+/// # Errors
+///
+/// * [`DspError::NotPowerOfTwo`] if `block_len` is not a power of two,
+/// * [`DspError::InsufficientSamples`] if the signal does not contain
+///   `start + block_len` samples.
+pub fn block_spectrum(
+    signal: &[Cplx],
+    start: usize,
+    block_len: usize,
+    window: Window,
+) -> Result<Vec<Cplx>, DspError> {
+    if !is_power_of_two(block_len) {
+        return Err(DspError::NotPowerOfTwo { length: block_len });
+    }
+    if start + block_len > signal.len() {
+        return Err(DspError::InsufficientSamples {
+            needed: start + block_len,
+            available: signal.len(),
+        });
+    }
+    let coeffs = window.coefficients(block_len);
+    let mut block: Vec<Cplx> = signal[start..start + block_len]
+        .iter()
+        .zip(coeffs.iter())
+        .map(|(&x, &w)| x * w)
+        .collect();
+    fft_in_place(&mut block)?;
+    // Phase rotation from the absolute-time exponent of eq. 2.
+    for (v, value) in block.iter_mut().enumerate() {
+        let phase = -2.0 * PI * (start as f64) * (v as f64) / block_len as f64;
+        *value = *value * Cplx::cis(phase);
+    }
+    Ok(block)
+}
+
+/// Number of complex multiplications of a radix-2 FFT of length `n`:
+/// `½·n·log2(n)` (the figure used in Section 2 of the paper).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn fft_complex_multiplications(n: usize) -> usize {
+    assert!(is_power_of_two(n), "length must be a power of two");
+    n / 2 * n.trailing_zeros() as usize
+}
+
+/// Number of complex multiplications to evaluate the DSCF of an `n`-point
+/// spectrum: `¼·n²` (Section 2).
+pub fn dscf_complex_multiplications(n: usize) -> usize {
+    n * n / 4
+}
+
+/// The ratio between DSCF and FFT multiplication counts; the paper quotes
+/// "16 times as many" for a 256-point spectrum.
+pub fn dscf_to_fft_cost_ratio(n: usize) -> f64 {
+    dscf_complex_multiplications(n) as f64 / fft_complex_multiplications(n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::Window;
+
+    fn assert_spectra_close(a: &[Cplx], b: &[Cplx], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (x - y).abs() < tol,
+                "bin {i}: {x} vs {y} (diff {})",
+                (x - y).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn bit_reverse_small_values() {
+        assert_eq!(bit_reverse(0b001, 3), 0b100);
+        assert_eq!(bit_reverse(0b110, 3), 0b011);
+        assert_eq!(bit_reverse(0, 4), 0);
+        assert_eq!(bit_reverse(0b1111, 4), 0b1111);
+    }
+
+    #[test]
+    fn bit_reverse_permute_is_involution() {
+        let original: Vec<Cplx> = (0..16).map(|i| Cplx::new(i as f64, -(i as f64))).collect();
+        let mut data = original.clone();
+        bit_reverse_permute(&mut data);
+        bit_reverse_permute(&mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Cplx::ZERO; 16];
+        data[0] = Cplx::ONE;
+        fft_in_place(&mut data).unwrap();
+        for bin in data {
+            assert!((bin - Cplx::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_complex_tone_has_single_peak() {
+        let n = 64;
+        let bin = 5;
+        let data: Vec<Cplx> = (0..n)
+            .map(|k| Cplx::cis(2.0 * PI * (bin * k) as f64 / n as f64))
+            .collect();
+        let spectrum = fft(&data).unwrap();
+        for (v, value) in spectrum.iter().enumerate() {
+            if v == bin {
+                assert!((value.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(value.abs() < 1e-9, "bin {v} = {value}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let n = 32;
+        let data: Vec<Cplx> = (0..n)
+            .map(|k| Cplx::new((k as f64 * 0.37).sin(), (k as f64 * 0.91).cos()))
+            .collect();
+        let fast = fft(&data).unwrap();
+        let slow = dft_naive(&data);
+        assert_spectra_close(&fast, &slow, 1e-9);
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let n = 128;
+        let data: Vec<Cplx> = (0..n)
+            .map(|k| Cplx::new((k as f64).cos(), (k as f64 * 1.7).sin()))
+            .collect();
+        let spectrum = fft(&data).unwrap();
+        let back = ifft(&spectrum).unwrap();
+        assert_spectra_close(&back, &data, 1e-10);
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 256;
+        let data: Vec<Cplx> = (0..n)
+            .map(|k| Cplx::new((k as f64 * 0.11).sin(), (k as f64 * 0.07).cos()))
+            .collect();
+        let time_energy: f64 = data.iter().map(|x| x.norm_sqr()).sum();
+        let spectrum = fft(&data).unwrap();
+        let freq_energy: f64 = spectrum.iter().map(|x| x.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy);
+    }
+
+    #[test]
+    fn non_power_of_two_is_rejected() {
+        let mut data = vec![Cplx::ZERO; 12];
+        assert!(matches!(
+            fft_in_place(&mut data),
+            Err(DspError::NotPowerOfTwo { length: 12 })
+        ));
+        assert!(ifft(&vec![Cplx::ZERO; 3]).is_err());
+    }
+
+    #[test]
+    fn length_one_fft_is_identity() {
+        let mut data = vec![Cplx::new(2.0, 3.0)];
+        fft_in_place(&mut data).unwrap();
+        assert_eq!(data[0], Cplx::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn block_spectrum_applies_time_shift_phase() {
+        // A tone at bin 3: the block starting at n has the same magnitude
+        // spectrum, and the phase of eq. 2 relative to block 0 is
+        // exp(-j 2π n v / K) * exp(+j 2π n·bin/K) from the signal itself;
+        // check against a direct evaluation of eq. 2.
+        let k = 32usize;
+        let bin = 3usize;
+        let total = 3 * k;
+        let signal: Vec<Cplx> = (0..total)
+            .map(|t| Cplx::cis(2.0 * PI * (bin * t) as f64 / k as f64))
+            .collect();
+        let start = 17;
+        let got = block_spectrum(&signal, start, k, Window::Rectangular).unwrap();
+        // Direct eq. 2 evaluation.
+        let direct: Vec<Cplx> = (0..k)
+            .map(|v| {
+                (0..k)
+                    .map(|kk| {
+                        signal[start + kk]
+                            * Cplx::cis(-2.0 * PI * ((start + kk) * v) as f64 / k as f64)
+                    })
+                    .sum()
+            })
+            .collect();
+        assert_spectra_close(&got, &direct, 1e-8);
+    }
+
+    #[test]
+    fn block_spectrum_rejects_out_of_range() {
+        let signal = vec![Cplx::ZERO; 40];
+        assert!(matches!(
+            block_spectrum(&signal, 20, 32, Window::Rectangular),
+            Err(DspError::InsufficientSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn section2_cost_comparison_for_256_points() {
+        // FFT: ½·256·8 = 1024 multiplications; DSCF: ¼·256² = 16384.
+        assert_eq!(fft_complex_multiplications(256), 1024);
+        assert_eq!(dscf_complex_multiplications(256), 16384);
+        assert!((dscf_to_fft_cost_ratio(256) - 16.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,317 @@
+//! Detection-performance metrics.
+//!
+//! The paper motivates CFD by its superior detection of licensed users; the
+//! baseline comparison the literature (Cabric et al. [7]) makes is the
+//! probability of detection `Pd` at a fixed probability of false alarm
+//! `Pfa`. This module estimates both by Monte-Carlo simulation and builds
+//! ROC curves for the detector-comparison experiment in the bench harness.
+
+use crate::complex::Cplx;
+use crate::detector::Detector;
+use crate::error::DspError;
+use crate::signal::{SignalBuilder, SymbolModulation};
+
+/// A single operating point of a detector.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OperatingPoint {
+    /// Probability of false alarm (decide "signal" under H0).
+    pub false_alarm: f64,
+    /// Probability of detection (decide "signal" under H1).
+    pub detection: f64,
+}
+
+/// A receiver-operating-characteristic curve: operating points sorted by
+/// increasing false-alarm probability.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct RocCurve {
+    /// The operating points.
+    pub points: Vec<OperatingPoint>,
+}
+
+impl RocCurve {
+    /// Area under the curve by trapezoidal integration, extended with the
+    /// (0,0) and (1,1) endpoints.
+    pub fn auc(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.5;
+        }
+        let mut pts = self.points.clone();
+        pts.sort_by(|a, b| {
+            a.false_alarm
+                .partial_cmp(&b.false_alarm)
+                .unwrap()
+                .then(a.detection.partial_cmp(&b.detection).unwrap())
+        });
+        let mut full = Vec::with_capacity(pts.len() + 2);
+        full.push(OperatingPoint {
+            false_alarm: 0.0,
+            detection: 0.0,
+        });
+        full.extend(pts);
+        full.push(OperatingPoint {
+            false_alarm: 1.0,
+            detection: 1.0,
+        });
+        full.windows(2)
+            .map(|w| {
+                let dx = w[1].false_alarm - w[0].false_alarm;
+                dx * (w[0].detection + w[1].detection) / 2.0
+            })
+            .sum()
+    }
+}
+
+/// The Monte-Carlo scenario over which detectors are evaluated.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Scenario {
+    /// Observation length in samples.
+    pub observation_len: usize,
+    /// Signal-to-noise ratio (dB) under H1.
+    pub snr_db: f64,
+    /// Modulation of the licensed-user signal.
+    pub modulation: SymbolModulation,
+    /// Samples per symbol of the licensed-user signal.
+    pub samples_per_symbol: usize,
+    /// Noise power.
+    pub noise_power: f64,
+    /// Number of Monte-Carlo trials per hypothesis.
+    pub trials: usize,
+    /// Base RNG seed; trial `i` under H0/H1 derives its own seed from it.
+    pub seed: u64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            observation_len: 2048,
+            snr_db: 0.0,
+            modulation: SymbolModulation::Bpsk,
+            samples_per_symbol: 4,
+            noise_power: 1.0,
+            trials: 50,
+            seed: 0,
+        }
+    }
+}
+
+impl Scenario {
+    fn observation(&self, present: bool, trial: usize) -> Result<Vec<Cplx>, DspError> {
+        let seed = self
+            .seed
+            .wrapping_mul(0x517c_c1b7_2722_0a95)
+            .wrapping_add(trial as u64)
+            .wrapping_add(if present { 0x8000_0000 } else { 0 });
+        let mut builder = SignalBuilder::new(self.observation_len)
+            .modulation(self.modulation)
+            .samples_per_symbol(self.samples_per_symbol)
+            .noise_power(self.noise_power)
+            .seed(seed);
+        if present {
+            builder = builder.snr_db(self.snr_db);
+        } else {
+            builder = builder.noise_only();
+        }
+        Ok(builder.build()?.samples)
+    }
+
+    /// Collects the detector's test statistics under both hypotheses.
+    ///
+    /// Returns `(h0_statistics, h1_statistics)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector and signal-generation errors.
+    pub fn collect_statistics<D: Detector>(
+        &self,
+        detector: &D,
+    ) -> Result<(Vec<f64>, Vec<f64>), DspError> {
+        let mut h0 = Vec::with_capacity(self.trials);
+        let mut h1 = Vec::with_capacity(self.trials);
+        for trial in 0..self.trials {
+            h0.push(detector.statistic(&self.observation(false, trial)?)?);
+            h1.push(detector.statistic(&self.observation(true, trial)?)?);
+        }
+        Ok((h0, h1))
+    }
+
+    /// Estimates `(Pfa, Pd)` of a detector at its configured threshold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector and signal-generation errors.
+    pub fn evaluate<D: Detector>(&self, detector: &D) -> Result<OperatingPoint, DspError> {
+        let (h0, h1) = self.collect_statistics(detector)?;
+        let threshold = detector.threshold();
+        Ok(OperatingPoint {
+            false_alarm: fraction_above(&h0, threshold),
+            detection: fraction_above(&h1, threshold),
+        })
+    }
+
+    /// Builds a ROC curve by sweeping the threshold over the observed range
+    /// of statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector and signal-generation errors.
+    pub fn roc<D: Detector>(&self, detector: &D, num_points: usize) -> Result<RocCurve, DspError> {
+        let (h0, h1) = self.collect_statistics(detector)?;
+        Ok(roc_from_statistics(&h0, &h1, num_points))
+    }
+}
+
+/// Fraction of `values` strictly above `threshold`.
+pub fn fraction_above(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v > threshold).count() as f64 / values.len() as f64
+}
+
+/// Builds a ROC curve from per-hypothesis statistic samples by sweeping a
+/// threshold across their combined range.
+pub fn roc_from_statistics(h0: &[f64], h1: &[f64], num_points: usize) -> RocCurve {
+    if h0.is_empty() || h1.is_empty() || num_points == 0 {
+        return RocCurve::default();
+    }
+    let min = h0
+        .iter()
+        .chain(h1.iter())
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let max = h0
+        .iter()
+        .chain(h1.iter())
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    let points = (0..num_points)
+        .map(|i| {
+            // Sweep slightly beyond both ends so the curve reaches (0,0) and (1,1).
+            let threshold = min - 0.01 * span + span * 1.02 * i as f64 / (num_points - 1).max(1) as f64;
+            OperatingPoint {
+                false_alarm: fraction_above(h0, threshold),
+                detection: fraction_above(h1, threshold),
+            }
+        })
+        .collect();
+    RocCurve { points }
+}
+
+/// The empirical "deflection" (separation) of the two statistic
+/// distributions: `(mean1 - mean0) / std0`. A larger deflection means the
+/// detector separates the hypotheses better.
+pub fn deflection(h0: &[f64], h1: &[f64]) -> f64 {
+    if h0.len() < 2 || h1.is_empty() {
+        return 0.0;
+    }
+    let mean0 = h0.iter().sum::<f64>() / h0.len() as f64;
+    let mean1 = h1.iter().sum::<f64>() / h1.len() as f64;
+    let var0 = h0.iter().map(|v| (v - mean0).powi(2)).sum::<f64>() / (h0.len() - 1) as f64;
+    if var0 <= 0.0 {
+        return if mean1 > mean0 { f64::INFINITY } else { 0.0 };
+    }
+    (mean1 - mean0) / var0.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::{CyclostationaryDetector, EnergyDetector};
+    use crate::scf::ScfParams;
+
+    #[test]
+    fn fraction_above_basics() {
+        assert_eq!(fraction_above(&[], 0.0), 0.0);
+        assert_eq!(fraction_above(&[1.0, 2.0, 3.0, 4.0], 2.5), 0.5);
+        assert_eq!(fraction_above(&[1.0, 2.0], 5.0), 0.0);
+        assert_eq!(fraction_above(&[1.0, 2.0], 0.0), 1.0);
+    }
+
+    #[test]
+    fn roc_from_well_separated_statistics_has_high_auc() {
+        let h0: Vec<f64> = (0..100).map(|i| i as f64 * 0.01).collect(); // 0..1
+        let h1: Vec<f64> = (0..100).map(|i| 2.0 + i as f64 * 0.01).collect(); // 2..3
+        let roc = roc_from_statistics(&h0, &h1, 50);
+        assert!(roc.auc() > 0.98, "auc = {}", roc.auc());
+    }
+
+    #[test]
+    fn roc_of_identical_distributions_has_auc_near_half() {
+        let h0: Vec<f64> = (0..200).map(|i| (i % 17) as f64).collect();
+        let roc = roc_from_statistics(&h0, &h0, 100);
+        assert!((roc.auc() - 0.5).abs() < 0.1, "auc = {}", roc.auc());
+    }
+
+    #[test]
+    fn empty_inputs_give_default_roc() {
+        let roc = roc_from_statistics(&[], &[1.0], 10);
+        assert!(roc.points.is_empty());
+        assert_eq!(roc.auc(), 0.5);
+    }
+
+    #[test]
+    fn deflection_orders_detectors_sensibly() {
+        let h0 = vec![0.0, 0.1, -0.1, 0.05, -0.05];
+        let strong = vec![5.0, 5.1, 4.9];
+        let weak = vec![0.2, 0.3, 0.1];
+        assert!(deflection(&h0, &strong) > deflection(&h0, &weak));
+        assert_eq!(deflection(&[], &strong), 0.0);
+        assert_eq!(deflection(&[1.0], &strong), 0.0);
+    }
+
+    #[test]
+    fn scenario_evaluates_energy_detector_sensibly_at_high_snr() {
+        let scenario = Scenario {
+            observation_len: 1024,
+            snr_db: 10.0,
+            trials: 30,
+            ..Default::default()
+        };
+        let detector = EnergyDetector::new(1.0, 0.05, 1024).unwrap();
+        let point = scenario.evaluate(&detector).unwrap();
+        assert!(point.detection > 0.9, "Pd = {}", point.detection);
+        assert!(point.false_alarm < 0.3, "Pfa = {}", point.false_alarm);
+    }
+
+    #[test]
+    fn cfd_beats_energy_detector_under_noise_uncertainty() {
+        // Classic CFD argument: if the assumed noise power is wrong by 1 dB,
+        // the energy detector's false alarms explode while the (power
+        // -normalised) cyclic statistic is unaffected.
+        let params = ScfParams::new(32, 7, 100).unwrap();
+        let scenario = Scenario {
+            observation_len: params.samples_needed(),
+            snr_db: 2.0,
+            samples_per_symbol: 4,
+            trials: 25,
+            // The actual noise is 1.26x stronger than the detectors assume.
+            noise_power: 1.26,
+            ..Default::default()
+        };
+        let energy = EnergyDetector::new(1.0, 0.05, scenario.observation_len).unwrap();
+        let cfd = CyclostationaryDetector::new(params, 0.3, 1).unwrap();
+        let e_point = scenario.evaluate(&energy).unwrap();
+        let c_point = scenario.evaluate(&cfd).unwrap();
+        // Energy detector false-alarms massively under noise uncertainty.
+        assert!(e_point.false_alarm > 0.5, "energy Pfa = {}", e_point.false_alarm);
+        assert!(c_point.false_alarm < 0.3, "cfd Pfa = {}", c_point.false_alarm);
+        assert!(c_point.detection > 0.7, "cfd Pd = {}", c_point.detection);
+    }
+
+    #[test]
+    fn roc_curve_of_cfd_detector_is_informative() {
+        let params = ScfParams::new(32, 7, 40).unwrap();
+        let scenario = Scenario {
+            observation_len: params.samples_needed(),
+            snr_db: 3.0,
+            samples_per_symbol: 4,
+            trials: 20,
+            ..Default::default()
+        };
+        let cfd = CyclostationaryDetector::new(params, 0.35, 1).unwrap();
+        let roc = scenario.roc(&cfd, 30).unwrap();
+        assert!(!roc.points.is_empty());
+        assert!(roc.auc() > 0.8, "auc = {}", roc.auc());
+    }
+}

@@ -1,0 +1,622 @@
+//! The Discrete Spectral Correlation Function (DSCF) of eq. 3.
+//!
+//! For block spectra `X_{n,v}` (eq. 2) the DSCF is
+//!
+//! ```text
+//! S_f^a = (1/N) · Σ_{n=0..N-1}  X_{n, f+a} · conj(X_{n, f-a})
+//! ```
+//!
+//! with the spectral frequency `f` and the frequency offset `a` both ranging
+//! over `-M ..= M` (the paper uses `M = 63` for 256-point spectra, i.e.
+//! `P = F = 127`). Spectral indices are *centred*: index `v` refers to FFT
+//! bin `v mod K`.
+//!
+//! [`dscf_reference`] is the golden model implemented directly from eq. 3;
+//! it is what the mapped/folded/simulated implementations in the other
+//! crates are checked against.
+
+use crate::complex::Cplx;
+use crate::error::DspError;
+use crate::fft::block_spectrum;
+use crate::window::Window;
+use std::fmt;
+
+/// Parameters of a DSCF evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use cfd_dsp::scf::ScfParams;
+///
+/// // The paper's configuration: 256-point spectra, f and a in -63..=63.
+/// let params = ScfParams::paper_256();
+/// assert_eq!(params.grid_size(), 127);
+/// assert_eq!(params.total_multiplications(), 127 * 127);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScfParams {
+    /// FFT length `K` (one block of samples).
+    pub fft_len: usize,
+    /// Maximum absolute value `M` of the frequency index `f` and offset `a`.
+    pub max_offset: usize,
+    /// Number of blocks `N` averaged over (the integration length).
+    pub num_blocks: usize,
+    /// Distance in samples between the starts of consecutive blocks
+    /// (defaults to `fft_len`, i.e. non-overlapping blocks).
+    pub block_stride: usize,
+    /// Analysis window applied to each block.
+    pub window: Window,
+}
+
+impl ScfParams {
+    /// Creates parameters with the common defaults (rectangular window,
+    /// non-overlapping blocks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `fft_len` is zero, if
+    /// `num_blocks` is zero, or if `2·max_offset >= fft_len` (the indices
+    /// `f±a` would wrap past the Nyquist zone).
+    pub fn new(fft_len: usize, max_offset: usize, num_blocks: usize) -> Result<Self, DspError> {
+        let params = ScfParams {
+            fft_len,
+            max_offset,
+            num_blocks,
+            block_stride: fft_len,
+            window: Window::Rectangular,
+        };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// The paper's evaluation configuration: 256-point spectra with
+    /// `f, a ∈ -63..=63` (127×127 DSCF) averaged over `num_blocks` blocks.
+    pub fn paper_256_with_blocks(num_blocks: usize) -> Self {
+        ScfParams::new(256, 63, num_blocks).expect("paper configuration is valid")
+    }
+
+    /// The paper's evaluation configuration with a single integration step.
+    pub fn paper_256() -> Self {
+        Self::paper_256_with_blocks(1)
+    }
+
+    /// Sets the analysis window.
+    pub fn with_window(mut self, window: Window) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the block stride (overlapping blocks when `stride < fft_len`).
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        self.block_stride = stride;
+        self
+    }
+
+    /// Validates the parameter combination.
+    ///
+    /// # Errors
+    ///
+    /// See [`ScfParams::new`].
+    pub fn validate(&self) -> Result<(), DspError> {
+        if self.fft_len == 0 {
+            return Err(DspError::InvalidParameter {
+                name: "fft_len",
+                message: "must be at least 1".into(),
+            });
+        }
+        if self.num_blocks == 0 {
+            return Err(DspError::InvalidParameter {
+                name: "num_blocks",
+                message: "must be at least 1".into(),
+            });
+        }
+        if self.block_stride == 0 {
+            return Err(DspError::InvalidParameter {
+                name: "block_stride",
+                message: "must be at least 1".into(),
+            });
+        }
+        if 2 * self.max_offset >= self.fft_len {
+            return Err(DspError::InvalidParameter {
+                name: "max_offset",
+                message: format!(
+                    "2*max_offset ({}) must be smaller than fft_len ({})",
+                    2 * self.max_offset,
+                    self.fft_len
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of points along each of the `f` and `a` axes, `P = 2M+1`.
+    pub fn grid_size(&self) -> usize {
+        2 * self.max_offset + 1
+    }
+
+    /// Total number of `(f, a)` points, i.e. complex multiply–accumulate
+    /// operations per integration step (`P·F`; 16 129 for the paper's
+    /// 127×127 grid — note the paper's per-core count 4 064 is `T·F` with
+    /// `T = 32`).
+    pub fn total_multiplications(&self) -> usize {
+        self.grid_size() * self.grid_size()
+    }
+
+    /// Number of samples needed to evaluate `num_blocks` blocks.
+    pub fn samples_needed(&self) -> usize {
+        (self.num_blocks - 1) * self.block_stride + self.fft_len
+    }
+}
+
+/// A dense `(f, a)` matrix of DSCF values.
+///
+/// Rows are indexed by the frequency `f ∈ -M..=M`, columns by the offset
+/// `a ∈ -M..=M`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScfMatrix {
+    max_offset: usize,
+    values: Vec<Cplx>,
+}
+
+impl ScfMatrix {
+    /// Creates a zero-filled matrix for indices `-max_offset ..= max_offset`.
+    pub fn zeros(max_offset: usize) -> Self {
+        let p = 2 * max_offset + 1;
+        ScfMatrix {
+            max_offset,
+            values: vec![Cplx::ZERO; p * p],
+        }
+    }
+
+    /// The maximum absolute index `M`.
+    pub fn max_offset(&self) -> usize {
+        self.max_offset
+    }
+
+    /// Number of points along each axis, `P = 2M+1`.
+    pub fn grid_size(&self) -> usize {
+        2 * self.max_offset + 1
+    }
+
+    fn flat_index(&self, f: i32, a: i32) -> Option<usize> {
+        let m = self.max_offset as i32;
+        if f < -m || f > m || a < -m || a > m {
+            return None;
+        }
+        let row = (f + m) as usize;
+        let col = (a + m) as usize;
+        Some(row * self.grid_size() + col)
+    }
+
+    /// Returns `S_f^a`, or `None` if the indices are out of range.
+    pub fn get(&self, f: i32, a: i32) -> Option<Cplx> {
+        self.flat_index(f, a).map(|i| self.values[i])
+    }
+
+    /// Returns `S_f^a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` or `a` lies outside `-M ..= M`.
+    pub fn at(&self, f: i32, a: i32) -> Cplx {
+        self.get(f, a).unwrap_or_else(|| {
+            panic!(
+                "index (f={f}, a={a}) outside the ±{} DSCF grid",
+                self.max_offset
+            )
+        })
+    }
+
+    /// Sets `S_f^a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` or `a` lies outside `-M ..= M`.
+    pub fn set(&mut self, f: i32, a: i32, value: Cplx) {
+        let idx = self.flat_index(f, a).unwrap_or_else(|| {
+            panic!(
+                "index (f={f}, a={a}) outside the ±{} DSCF grid",
+                self.max_offset
+            )
+        });
+        self.values[idx] = value;
+    }
+
+    /// Adds `value` to `S_f^a` (accumulation over `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` or `a` lies outside `-M ..= M`.
+    pub fn accumulate(&mut self, f: i32, a: i32, value: Cplx) {
+        let idx = self.flat_index(f, a).unwrap_or_else(|| {
+            panic!(
+                "index (f={f}, a={a}) outside the ±{} DSCF grid",
+                self.max_offset
+            )
+        });
+        self.values[idx] += value;
+    }
+
+    /// Scales every entry by `factor` (the `1/N` normalisation).
+    pub fn scale(&mut self, factor: f64) {
+        for v in &mut self.values {
+            *v = *v * factor;
+        }
+    }
+
+    /// Iterates over `(f, a, S_f^a)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (i32, i32, Cplx)> + '_ {
+        let m = self.max_offset as i32;
+        let p = self.grid_size();
+        self.values.iter().enumerate().map(move |(i, &v)| {
+            let f = (i / p) as i32 - m;
+            let a = (i % p) as i32 - m;
+            (f, a, v)
+        })
+    }
+
+    /// Maximum absolute difference to another matrix of the same size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two matrices have different `max_offset`.
+    pub fn max_abs_difference(&self, other: &ScfMatrix) -> f64 {
+        assert_eq!(
+            self.max_offset, other.max_offset,
+            "cannot compare DSCF matrices of different sizes"
+        );
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest magnitude over the whole grid.
+    pub fn max_magnitude(&self) -> f64 {
+        self.values.iter().map(|v| v.abs()).fold(0.0, f64::max)
+    }
+
+    /// The cyclic-domain profile: for each offset `a`, the maximum of
+    /// `|S_f^a|` over all `f`. Element `[a + M]` of the returned vector
+    /// corresponds to offset `a`.
+    ///
+    /// Cyclostationary signals show peaks at non-zero `a`; stationary noise
+    /// concentrates its energy at `a = 0`.
+    pub fn cyclic_profile(&self) -> Vec<f64> {
+        let m = self.max_offset as i32;
+        (-m..=m)
+            .map(|a| {
+                (-m..=m)
+                    .map(|f| self.at(f, a).abs())
+                    .fold(0.0, f64::max)
+            })
+            .collect()
+    }
+
+    /// The power spectral density estimate along `a = 0`
+    /// (`S_f^0 = (1/N)·Σ|X_{n,f}|²`), indexed by `f + M`.
+    pub fn psd(&self) -> Vec<f64> {
+        let m = self.max_offset as i32;
+        (-m..=m).map(|f| self.at(f, 0).abs()).collect()
+    }
+}
+
+impl fmt::Display for ScfMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ScfMatrix {{ {}x{} points, f,a in -{}..={}, peak |S| = {:.3e} }}",
+            self.grid_size(),
+            self.grid_size(),
+            self.max_offset,
+            self.max_offset,
+            self.max_magnitude()
+        )
+    }
+}
+
+/// Computes the block spectra `X_{n,v}` of eq. 2 for all `num_blocks` blocks.
+///
+/// The result is a `num_blocks × fft_len` matrix (outer Vec over `n`).
+///
+/// # Errors
+///
+/// Propagates parameter and length errors from [`block_spectrum`] and
+/// [`ScfParams::validate`].
+pub fn block_spectra(signal: &[Cplx], params: &ScfParams) -> Result<Vec<Vec<Cplx>>, DspError> {
+    params.validate()?;
+    if signal.len() < params.samples_needed() {
+        return Err(DspError::InsufficientSamples {
+            needed: params.samples_needed(),
+            available: signal.len(),
+        });
+    }
+    (0..params.num_blocks)
+        .map(|n| block_spectrum(signal, n * params.block_stride, params.fft_len, params.window))
+        .collect()
+}
+
+/// Looks up the centred spectral index `v` (possibly negative) in an FFT
+/// block of length `k`: index `v` maps to bin `v mod k`.
+#[inline]
+pub fn centred_bin(v: i32, k: usize) -> usize {
+    let k = k as i32;
+    (((v % k) + k) % k) as usize
+}
+
+/// Reference implementation of the DSCF, directly from eq. 3.
+///
+/// This is the golden model that the mapped (systolic / folded / Montium /
+/// tiled-SoC) implementations are validated against.
+///
+/// # Errors
+///
+/// * [`DspError::InvalidParameter`] for invalid parameters,
+/// * [`DspError::InsufficientSamples`] if the signal is too short,
+/// * [`DspError::NotPowerOfTwo`] if `fft_len` is not a power of two.
+pub fn dscf_reference(signal: &[Cplx], params: &ScfParams) -> Result<ScfMatrix, DspError> {
+    let spectra = block_spectra(signal, params)?;
+    Ok(dscf_from_spectra(&spectra, params))
+}
+
+/// Evaluates eq. 3 given precomputed block spectra.
+///
+/// Useful when the spectra come from a different (e.g. fixed-point or
+/// simulated) FFT implementation.
+///
+/// # Panics
+///
+/// Panics if any block is shorter than `params.fft_len`.
+pub fn dscf_from_spectra(spectra: &[Vec<Cplx>], params: &ScfParams) -> ScfMatrix {
+    let m = params.max_offset as i32;
+    let k = params.fft_len;
+    let mut matrix = ScfMatrix::zeros(params.max_offset);
+    for block in spectra {
+        assert!(
+            block.len() >= k,
+            "block spectrum shorter ({}) than fft_len ({k})",
+            block.len()
+        );
+        for f in -m..=m {
+            for a in -m..=m {
+                let x_plus = block[centred_bin(f + a, k)];
+                let x_minus = block[centred_bin(f - a, k)];
+                matrix.accumulate(f, a, x_plus * x_minus.conj());
+            }
+        }
+    }
+    if !spectra.is_empty() {
+        matrix.scale(1.0 / spectra.len() as f64);
+    }
+    matrix
+}
+
+/// The spectral autocoherence magnitude
+/// `|S_f^a| / sqrt(S_{f+a}^0 · S_{f-a}^0)` clipped to `[0, 1]`, commonly
+/// used to normalise cyclic features before thresholding.
+///
+/// Returns zero where the denominator underflows.
+pub fn spectral_coherence(matrix: &ScfMatrix, f: i32, a: i32) -> f64 {
+    let m = matrix.max_offset() as i32;
+    if f + a > m || f + a < -m || f - a > m || f - a < -m {
+        return 0.0;
+    }
+    let num = matrix.at(f, a).abs();
+    let d1 = matrix.at(f + a, 0).abs();
+    let d2 = matrix.at(f - a, 0).abs();
+    let denom = (d1 * d2).sqrt();
+    if denom <= f64::MIN_POSITIVE {
+        0.0
+    } else {
+        (num / denom).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::{awgn, complex_tone, modulated_signal, ModulatedSignalSpec};
+
+    #[test]
+    fn params_validation() {
+        assert!(ScfParams::new(0, 0, 1).is_err());
+        assert!(ScfParams::new(64, 32, 1).is_err()); // 2*32 >= 64
+        assert!(ScfParams::new(64, 31, 0).is_err());
+        let p = ScfParams::new(64, 31, 2).unwrap();
+        assert_eq!(p.grid_size(), 63);
+        assert_eq!(p.samples_needed(), 128);
+        assert!(p.with_stride(0).validate().is_err());
+    }
+
+    #[test]
+    fn paper_parameters_match_section_4_1() {
+        let p = ScfParams::paper_256();
+        assert_eq!(p.fft_len, 256);
+        assert_eq!(p.max_offset, 63);
+        assert_eq!(p.grid_size(), 127);
+        // 127 x 127 points in the DSCF.
+        assert_eq!(p.total_multiplications(), 16129);
+    }
+
+    #[test]
+    fn matrix_indexing_and_iteration() {
+        let mut m = ScfMatrix::zeros(2);
+        assert_eq!(m.grid_size(), 5);
+        m.set(-2, 2, Cplx::new(1.0, 0.0));
+        m.set(0, 0, Cplx::new(0.0, 1.0));
+        m.accumulate(0, 0, Cplx::new(0.0, 1.0));
+        assert_eq!(m.at(0, 0), Cplx::new(0.0, 2.0));
+        assert_eq!(m.at(-2, 2), Cplx::new(1.0, 0.0));
+        assert!(m.get(3, 0).is_none());
+        let count = m.iter().count();
+        assert_eq!(count, 25);
+        let nonzero: Vec<_> = m.iter().filter(|(_, _, v)| v.abs() > 0.0).collect();
+        assert_eq!(nonzero.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn matrix_at_panics_out_of_range() {
+        let m = ScfMatrix::zeros(1);
+        let _ = m.at(2, 0);
+    }
+
+    #[test]
+    fn centred_bin_wraps_correctly() {
+        assert_eq!(centred_bin(0, 8), 0);
+        assert_eq!(centred_bin(3, 8), 3);
+        assert_eq!(centred_bin(-1, 8), 7);
+        assert_eq!(centred_bin(-8, 8), 0);
+        assert_eq!(centred_bin(9, 8), 1);
+    }
+
+    #[test]
+    fn dscf_of_tone_peaks_at_its_frequency_on_the_a0_axis() {
+        // Complex tone at bin 5 of a 64-point FFT.
+        let k = 64;
+        let params = ScfParams::new(k, 15, 4).unwrap();
+        let signal = complex_tone(params.samples_needed(), 5.0, k as f64, 0.3);
+        let scf = dscf_reference(&signal, &params).unwrap();
+        let psd = scf.psd();
+        // Peak of the PSD at f = 5 (index 5 + 15 = 20).
+        let (argmax, _) = psd
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert_eq!(argmax as i32 - 15, 5);
+    }
+
+    #[test]
+    fn dscf_conjugate_symmetry_in_a() {
+        // S_f^{-a} = conj(S_f^{a}) follows directly from eq. 3.
+        let params = ScfParams::new(32, 7, 3).unwrap();
+        let spec = ModulatedSignalSpec {
+            samples_per_symbol: 4,
+            ..Default::default()
+        };
+        let signal = modulated_signal(params.samples_needed(), &spec, 21).unwrap();
+        let scf = dscf_reference(&signal, &params).unwrap();
+        for f in -7..=7 {
+            for a in -7..=7 {
+                let lhs = scf.at(f, -a);
+                let rhs = scf.at(f, a).conj();
+                assert!((lhs - rhs).abs() < 1e-9, "f={f}, a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn dscf_a0_values_are_real_nonnegative() {
+        let params = ScfParams::new(32, 7, 2).unwrap();
+        let signal = awgn(params.samples_needed(), 1.0, 9);
+        let scf = dscf_reference(&signal, &params).unwrap();
+        for f in -7..=7 {
+            let s = scf.at(f, 0);
+            assert!(s.im.abs() < 1e-9);
+            assert!(s.re >= 0.0);
+        }
+    }
+
+    #[test]
+    fn cyclostationary_signal_has_features_at_symbol_rate() {
+        // BPSK with 4 samples/symbol in a 32-point FFT: the symbol rate is
+        // 8 bins, so a feature is expected at a = ±4 (since the offset
+        // between the correlated bins is 2a).
+        let k = 32;
+        let params = ScfParams::new(k, 7, 64).unwrap();
+        let spec = ModulatedSignalSpec {
+            samples_per_symbol: 4,
+            ..Default::default()
+        };
+        let signal = modulated_signal(params.samples_needed(), &spec, 5).unwrap();
+        let scf = dscf_reference(&signal, &params).unwrap();
+        let profile = scf.cyclic_profile();
+        let at = |a: i32| profile[(a + 7) as usize];
+        // The a = ±4 feature (2a = 8 bins = symbol rate) must stand clearly
+        // above a nearby non-cyclic offset such as a = ±3.
+        assert!(
+            at(4) > 3.0 * at(3),
+            "feature at a=4 ({}) not above a=3 ({})",
+            at(4),
+            at(3)
+        );
+        assert!(at(-4) > 3.0 * at(-3));
+    }
+
+    #[test]
+    fn noise_has_no_dominant_cyclic_feature() {
+        let params = ScfParams::new(32, 7, 64).unwrap();
+        let signal = awgn(params.samples_needed(), 1.0, 17);
+        let scf = dscf_reference(&signal, &params).unwrap();
+        let profile = scf.cyclic_profile();
+        let at_zero = profile[7];
+        let max_nonzero = profile
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 7)
+            .map(|(_, &v)| v)
+            .fold(0.0, f64::max);
+        // For white noise the a=0 ridge dominates any other offset.
+        assert!(at_zero > max_nonzero, "{at_zero} vs {max_nonzero}");
+    }
+
+    #[test]
+    fn averaging_reduces_off_feature_variance() {
+        let spec = ModulatedSignalSpec {
+            samples_per_symbol: 4,
+            ..Default::default()
+        };
+        let short = ScfParams::new(32, 7, 2).unwrap();
+        let long = ScfParams::new(32, 7, 128).unwrap();
+        let signal = modulated_signal(long.samples_needed(), &spec, 33).unwrap();
+        let scf_short = dscf_reference(&signal, &short).unwrap();
+        let scf_long = dscf_reference(&signal, &long).unwrap();
+        // Relative strength of the true feature (a=4) vs a spurious offset
+        // (a=1) improves with averaging.
+        let contrast = |m: &ScfMatrix| {
+            let p = m.cyclic_profile();
+            p[(4 + 7) as usize] / p[(1 + 7) as usize].max(f64::MIN_POSITIVE)
+        };
+        assert!(contrast(&scf_long) > contrast(&scf_short));
+    }
+
+    #[test]
+    fn insufficient_samples_is_reported() {
+        let params = ScfParams::new(64, 15, 4).unwrap();
+        let signal = vec![Cplx::ZERO; 100];
+        assert!(matches!(
+            dscf_reference(&signal, &params),
+            Err(DspError::InsufficientSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn max_abs_difference_and_display() {
+        let params = ScfParams::new(32, 3, 1).unwrap();
+        let signal = complex_tone(params.samples_needed(), 2.0, 32.0, 0.0);
+        let a = dscf_reference(&signal, &params).unwrap();
+        let mut b = a.clone();
+        assert_eq!(a.max_abs_difference(&b), 0.0);
+        b.set(0, 0, b.at(0, 0) + Cplx::new(0.5, 0.0));
+        assert!((a.max_abs_difference(&b) - 0.5).abs() < 1e-12);
+        assert!(a.to_string().contains("7x7"));
+    }
+
+    #[test]
+    fn spectral_coherence_is_in_unit_interval_and_one_for_tone() {
+        let k = 64;
+        let params = ScfParams::new(k, 15, 8).unwrap();
+        let signal = complex_tone(params.samples_needed(), 4.0, k as f64, 0.0);
+        let scf = dscf_reference(&signal, &params).unwrap();
+        for f in -15..=15 {
+            for a in -15..=15 {
+                let c = spectral_coherence(&scf, f, a);
+                assert!((0.0..=1.0).contains(&c));
+            }
+        }
+        // A pure tone at bin 4 correlates perfectly between bins 4+0 and 4-0.
+        assert!(spectral_coherence(&scf, 4, 0) > 0.99);
+    }
+}

@@ -1,0 +1,112 @@
+//! Error types for the mapping engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while deriving or simulating a mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MappingError {
+    /// Two dependence-graph nodes were assigned to the same processor at the
+    /// same time step.
+    ScheduleConflict {
+        /// The processor coordinate (flattened to a string for reporting).
+        processor: String,
+        /// The time step at which the conflict occurs.
+        time: i64,
+    },
+    /// Matrix/vector dimensions do not match for the requested operation.
+    DimensionMismatch {
+        /// What was being computed.
+        context: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        message: String,
+    },
+    /// The folded architecture does not fit the target core (memory, tasks).
+    CapacityExceeded {
+        /// The resource that overflowed.
+        resource: &'static str,
+        /// Required amount.
+        required: usize,
+        /// Available amount.
+        available: usize,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::ScheduleConflict { processor, time } => write!(
+                f,
+                "schedule conflict: processor {processor} has two operations at time {time}"
+            ),
+            MappingError::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            MappingError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            MappingError::CapacityExceeded {
+                resource,
+                required,
+                available,
+            } => write!(
+                f,
+                "capacity exceeded for {resource}: {required} required but only {available} available"
+            ),
+        }
+    }
+}
+
+impl Error for MappingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MappingError::ScheduleConflict {
+            processor: "(0, 1)".into(),
+            time: 3,
+        };
+        assert!(e.to_string().contains("(0, 1)"));
+        let e = MappingError::DimensionMismatch {
+            context: "assignment",
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("assignment"));
+        let e = MappingError::CapacityExceeded {
+            resource: "memory words",
+            required: 9000,
+            available: 8192,
+        };
+        assert!(e.to_string().contains("9000"));
+        let e = MappingError::InvalidParameter {
+            name: "cores",
+            message: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("cores"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + Error>() {}
+        assert_send_sync::<MappingError>();
+    }
+}

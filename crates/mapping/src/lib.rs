@@ -1,0 +1,70 @@
+//! # `cfd-mapping` — Step 1: array-processor mapping of the DSCF
+//!
+//! This crate implements Section 3 of *"Cyclostationary Feature Detection on
+//! a tiled-SoC"* (Kokkeler et al., DATE 2007): the structured derivation of
+//! a multi-core architecture for the Discrete Spectral Correlation Function
+//! using the dependence-graph techniques of VLSI array-processor design.
+//!
+//! The derivation chain, with one module per stage:
+//!
+//! 1. [`dg`] — the 3-D dependence graph over `(f, a, n)` (Figs. 1–2);
+//! 2. [`vecmat`], [`transform`] — processor-assignment matrices and
+//!    scheduling vectors (`P1`/`s1`, `P2`/`s2`, eqs. 4–5), conflict checking;
+//! 3. [`pe`] — processing-element models after each fold (Figs. 3–4);
+//! 4. [`spacetime`] — the space–time-delay diagram of the operand flows
+//!    (Fig. 5, matrices `P2a1`/`P2a2` of eq. 6);
+//! 5. [`systolic`] — the register-based systolic array (Figs. 6–7) with a
+//!    cycle-by-cycle functional simulation;
+//! 6. [`folding`] — folding onto `Q` physical cores (`T = ceil(P/Q)`,
+//!    eqs. 8–9; Figs. 8–9), again with a functional simulation and
+//!    communication statistics;
+//! 7. [`memory`] — the `T·F` accumulation-memory and shift-register sizing
+//!    checked in Section 4.1.
+//!
+//! Every functional simulation in this crate is validated against the golden
+//! -model DSCF of [`cfd_dsp`].
+//!
+//! ## Example: fold the paper's 127-task array onto 4 cores
+//!
+//! ```
+//! use cfd_mapping::folding::Folding;
+//! use cfd_mapping::memory::MemoryRequirement;
+//!
+//! let folding = Folding::paper();
+//! assert_eq!(folding.tasks_per_core, 32);            // eq. 8
+//! assert_eq!(folding.core_of_task(100), 3);          // eq. 9
+//! let memory = MemoryRequirement::new(&folding, 127, 16);
+//! assert!(memory.real_words() < 8192);               // fits M01-M08
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dg;
+pub mod error;
+pub mod folding;
+pub mod memory;
+pub mod pe;
+pub mod spacetime;
+pub mod systolic;
+pub mod transform;
+pub mod vecmat;
+
+pub use dg::{DependenceGraph, DgNode};
+pub use error::MappingError;
+pub use folding::{FoldedArray, Folding};
+pub use systolic::SystolicArray;
+pub use transform::SpaceTimeMapping;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::dg::{fig1_structure, DependenceGraph, DgEdge, DgNode, Fig1Entry};
+    pub use crate::error::MappingError;
+    pub use crate::folding::{FoldedArray, FoldedRunStats, Folding, SwitchSchedule};
+    pub use crate::memory::{MemoryRequirement, ShiftRegisterRequirement};
+    pub use crate::pe::{MemoryPe, RegisterPe};
+    pub use crate::spacetime::{Flow, SpaceTimeDiagram, SpaceTimeEntry};
+    pub use crate::systolic::{SystolicArchitecture, SystolicArray, SystolicRunStats};
+    pub use crate::transform::{combined_paper_assignment, MappedNode, SpaceTimeMapping};
+    pub use crate::vecmat::{paper, IMat, IVec};
+}

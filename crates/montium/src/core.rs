@@ -1,0 +1,654 @@
+//! The Montium tile: memories, register files, complex ALU, sequencer, and
+//! the CFD kernel state machine that Step 2 of the paper maps onto it
+//! (Fig. 11).
+//!
+//! The tile executes the folded DSCF computation of one core of the
+//! architecture derived in Step 1:
+//!
+//! * memories M01–M08 hold the `T·F` complex accumulators,
+//! * memories M09/M10 hold the two communication shift registers of length
+//!   `T`,
+//! * the ALU performs one complex multiply–accumulate per 3 clock cycles,
+//! * every frequency step costs 3 additional cycles to read new operand
+//!   data,
+//! * the FFT, the reshuffling of the conjugated values and the initial data
+//!   load are separate kernel phases with their own cycle budgets.
+//!
+//! The per-phase cycle counts accumulate in the tile's [`Sequencer`] and
+//! reproduce Table 1 of the paper.
+
+use crate::alu::{AluStats, ComplexAlu};
+use crate::config::MontiumConfig;
+use crate::error::MontiumError;
+use crate::interconnect::InterconnectConfig;
+use crate::memory::MemorySystem;
+use crate::power::TilePower;
+use crate::regfile::RegisterFileSet;
+use crate::sequencer::{KernelRun, Phase, Sequencer};
+use cfd_dsp::complex::Cplx;
+use cfd_dsp::fft::{bit_reverse_permute, is_power_of_two};
+use std::f64::consts::PI;
+
+/// Configuration of the CFD kernel on one tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CfdState {
+    /// Shift-register length `T` (tasks per core of the folding).
+    num_tasks: usize,
+    /// Tasks that actually compute on this tile (`≤ T`; the last core of an
+    /// uneven folding has fewer).
+    active_tasks: usize,
+    /// Frequency points `F`.
+    num_frequencies: usize,
+    /// Integration steps accumulated so far.
+    blocks_accumulated: usize,
+}
+
+/// A cycle-level functional simulator of one Montium tile.
+#[derive(Debug, Clone)]
+pub struct MontiumCore {
+    config: MontiumConfig,
+    memories: MemorySystem,
+    regfiles: RegisterFileSet,
+    alu: ComplexAlu,
+    sequencer: Sequencer,
+    interconnect: InterconnectConfig,
+    cfd: Option<CfdState>,
+}
+
+impl MontiumCore {
+    /// Creates a tile with the given configuration.
+    pub fn new(config: MontiumConfig) -> Self {
+        let memories = MemorySystem::new(&config);
+        let regfiles = RegisterFileSet::new(&config);
+        let alu = ComplexAlu::new(&config);
+        MontiumCore {
+            config,
+            memories,
+            regfiles,
+            alu,
+            sequencer: Sequencer::new(),
+            interconnect: InterconnectConfig::new(),
+            cfd: None,
+        }
+    }
+
+    /// Creates a tile with the paper's configuration.
+    pub fn paper() -> Self {
+        MontiumCore::new(MontiumConfig::paper())
+    }
+
+    /// The tile configuration.
+    pub fn config(&self) -> &MontiumConfig {
+        &self.config
+    }
+
+    /// The per-phase cycle accountant (Table 1 source).
+    pub fn sequencer(&self) -> &Sequencer {
+        &self.sequencer
+    }
+
+    /// ALU execution statistics.
+    pub fn alu_stats(&self) -> AluStats {
+        self.alu.stats()
+    }
+
+    /// The memory system (for inspection in tests and reports).
+    pub fn memories(&self) -> &MemorySystem {
+        &self.memories
+    }
+
+    /// The currently loaded interconnect configuration.
+    pub fn interconnect(&self) -> &InterconnectConfig {
+        &self.interconnect
+    }
+
+    /// Total cycles executed so far.
+    pub fn total_cycles(&self) -> u64 {
+        self.sequencer.total_cycles()
+    }
+
+    /// Wall-clock time in µs corresponding to the executed cycles at this
+    /// tile's clock.
+    pub fn elapsed_us(&self) -> f64 {
+        self.config.cycles_to_us(self.total_cycles())
+    }
+
+    /// Area/power figures of this tile.
+    pub fn power(&self) -> TilePower {
+        TilePower::from_config(&self.config)
+    }
+
+    /// Configures the tile for the folded CFD kernel: `num_tasks` (= `T`)
+    /// shift-register slots of which `active_tasks` compute, over
+    /// `num_frequencies` (= `F`) frequency points.
+    ///
+    /// Clears the memories, loads the Fig. 11 interconnect configuration and
+    /// checks the Section 4.1 capacity constraints.
+    ///
+    /// # Errors
+    ///
+    /// * [`MontiumError::InvalidKernel`] for inconsistent parameters,
+    /// * [`MontiumError::CapacityExceeded`] if the accumulators or shift
+    ///   registers do not fit the memories.
+    pub fn configure_cfd(
+        &mut self,
+        num_tasks: usize,
+        active_tasks: usize,
+        num_frequencies: usize,
+    ) -> Result<(), MontiumError> {
+        if num_tasks == 0 || num_frequencies == 0 {
+            return Err(MontiumError::InvalidKernel {
+                kernel: "cfd",
+                message: "num_tasks and num_frequencies must be positive".into(),
+            });
+        }
+        if active_tasks > num_tasks {
+            return Err(MontiumError::InvalidKernel {
+                kernel: "cfd",
+                message: format!("active_tasks ({active_tasks}) exceeds num_tasks ({num_tasks})"),
+            });
+        }
+        let accumulator_entries = active_tasks * num_frequencies;
+        let capacity = self.memories.accumulation_capacity_entries();
+        if accumulator_entries > capacity {
+            return Err(MontiumError::CapacityExceeded {
+                what: "CFD accumulation memory (complex entries)",
+                required_words: 2 * accumulator_entries,
+                available_words: 2 * capacity,
+            });
+        }
+        let comm_capacity = self.config.communication_capacity_words() / 4; // per flow, complex
+        if num_tasks > comm_capacity {
+            return Err(MontiumError::CapacityExceeded {
+                what: "CFD shift registers (complex entries per flow)",
+                required_words: 2 * num_tasks,
+                available_words: 2 * comm_capacity,
+            });
+        }
+        self.memories.clear();
+        self.regfiles.clear();
+        self.interconnect = InterconnectConfig::cfd_kernel(self.config.num_memories);
+        let problems = self
+            .interconnect
+            .validate(self.config.num_memories, self.config.num_register_files);
+        if !problems.is_empty() {
+            return Err(MontiumError::InvalidKernel {
+                kernel: "cfd",
+                message: format!("interconnect configuration invalid: {}", problems.join("; ")),
+            });
+        }
+        self.cfd = Some(CfdState {
+            num_tasks,
+            active_tasks,
+            num_frequencies,
+            blocks_accumulated: 0,
+        });
+        Ok(())
+    }
+
+    fn cfd(&self) -> Result<CfdState, MontiumError> {
+        self.cfd.ok_or(MontiumError::InvalidKernel {
+            kernel: "cfd",
+            message: "tile is not configured (call configure_cfd first)".into(),
+        })
+    }
+
+    fn conj_bank(&self) -> usize {
+        self.config.num_memories - 1 // M09 in the default configuration
+    }
+
+    fn direct_bank(&self) -> usize {
+        self.config.num_memories // M10
+    }
+
+    /// Computes the block spectrum of `samples` on this tile's ALU
+    /// (radix-2 FFT executed butterfly by butterfly) and accounts the
+    /// [`Phase::Fft`] cycle budget calibrated to Heysters [3].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MontiumError::InvalidKernel`] if the length is not a power
+    /// of two.
+    pub fn fft(&mut self, samples: &[Cplx]) -> Result<(Vec<Cplx>, KernelRun), MontiumError> {
+        let n = samples.len();
+        if !is_power_of_two(n) {
+            return Err(MontiumError::InvalidKernel {
+                kernel: "fft",
+                message: format!("length {n} is not a power of two"),
+            });
+        }
+        let mut data = samples.to_vec();
+        if n > 1 {
+            bit_reverse_permute(&mut data);
+            let mut len = 2;
+            while len <= n {
+                let step = -2.0 * PI / len as f64;
+                for start in (0..n).step_by(len) {
+                    for offset in 0..len / 2 {
+                        let w = Cplx::cis(step * offset as f64);
+                        let (top, bottom) =
+                            self.alu.butterfly(data[start + offset], data[start + offset + len / 2], w);
+                        data[start + offset] = top;
+                        data[start + offset + len / 2] = bottom;
+                    }
+                }
+                len <<= 1;
+            }
+        }
+        if self.config.quantize_q15 {
+            // The 16-bit datapath: results are scaled by 1/N to stay in
+            // range and quantised, matching a block-floating FFT that
+            // normalises as it goes.
+            let scale = 1.0 / n as f64;
+            for v in &mut data {
+                *v = (*v * scale).to_q15().to_cplx();
+            }
+        }
+        let run = self
+            .sequencer
+            .record(Phase::Fft, self.config.fft_cycles(n));
+        Ok((data, run))
+    }
+
+    /// Reshuffles the spectrum into the conjugated-operand order (Fig. 1):
+    /// one cycle per spectral value.
+    pub fn reshuffle(&mut self, spectrum: &[Cplx]) -> (Vec<Cplx>, KernelRun) {
+        let conjugated = spectrum.iter().map(|x| x.conj()).collect();
+        let run = self
+            .sequencer
+            .record(Phase::Reshuffle, spectrum.len() as u64);
+        (conjugated, run)
+    }
+
+    /// Loads the two communication shift registers with their initial
+    /// window and accounts the [`Phase::Initialisation`] budget — one cycle
+    /// per frequency point, matching the paper's 127 cycles for `F = 127`.
+    ///
+    /// `conjugate_window` carries the *already conjugated* values `X*_{n,v}`
+    /// produced by [`MontiumCore::reshuffle`] (they are stored in M09);
+    /// `direct_window` carries the plain values `X_{n,v}` (stored in M10).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MontiumError::InvalidKernel`] if the tile is not configured
+    /// or the windows do not have length `T`.
+    pub fn load_shift_registers(
+        &mut self,
+        conjugate_window: &[Cplx],
+        direct_window: &[Cplx],
+    ) -> Result<KernelRun, MontiumError> {
+        let state = self.cfd()?;
+        if conjugate_window.len() != state.num_tasks || direct_window.len() != state.num_tasks {
+            return Err(MontiumError::InvalidKernel {
+                kernel: "cfd",
+                message: format!(
+                    "shift-register windows must have length T = {} (got {} and {})",
+                    state.num_tasks,
+                    conjugate_window.len(),
+                    direct_window.len()
+                ),
+            });
+        }
+        let conj_bank = self.conj_bank();
+        let direct_bank = self.direct_bank();
+        for (j, &value) in conjugate_window.iter().enumerate() {
+            self.memories.bank(conj_bank)?.write(j, value)?;
+        }
+        for (j, &value) in direct_window.iter().enumerate() {
+            self.memories.bank(direct_bank)?.write(j, value)?;
+        }
+        Ok(self
+            .sequencer
+            .record(Phase::Initialisation, state.num_frequencies as u64))
+    }
+
+    /// Executes the `T` multiply–accumulates of one frequency step `step`
+    /// (plus the per-step data read), updating the accumulators in M01–M08.
+    ///
+    /// Returns the total cycles consumed by the step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MontiumError::InvalidKernel`] if the tile is not configured
+    /// or `step` is out of range.
+    pub fn mac_frequency_step(&mut self, step: usize) -> Result<u64, MontiumError> {
+        let state = self.cfd()?;
+        if step >= state.num_frequencies {
+            return Err(MontiumError::InvalidKernel {
+                kernel: "cfd",
+                message: format!(
+                    "frequency step {step} out of range (F = {})",
+                    state.num_frequencies
+                ),
+            });
+        }
+        let read_run = self
+            .sequencer
+            .record(Phase::ReadData, self.config.data_read_cycles);
+        let conj_bank = self.conj_bank();
+        let direct_bank = self.direct_bank();
+        let mut mac_cycles = 0;
+        for task in 0..state.active_tasks {
+            let conjugated = self.memories.bank(conj_bank)?.read(task)?;
+            let direct = self.memories.bank(direct_bank)?.read(task)?;
+            let index = task * state.num_frequencies + step;
+            let accumulator = self.memories.read_accumulator(index)?;
+            // Operands pass through the register files on their way to the
+            // ALU (Fig. 11); model the accesses for the statistics.
+            self.regfiles.file(1)?.write(0, direct)?;
+            self.regfiles.file(2)?.write(0, conjugated)?;
+            let updated = self.alu.mac(accumulator, direct, conjugated);
+            self.memories.write_accumulator(index, updated)?;
+            mac_cycles += self.config.mac_cycles;
+        }
+        self.sequencer.record(Phase::MultiplyAccumulate, mac_cycles);
+        Ok(read_run.cycles + mac_cycles)
+    }
+
+    /// The boundary values this tile passes to its neighbours at the next
+    /// shift: `(conjugate_out, direct_out)` — the last conjugate-flow entry
+    /// and the first direct-flow entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MontiumError::InvalidKernel`] if the tile is not configured.
+    pub fn edge_outputs(&mut self) -> Result<(Cplx, Cplx), MontiumError> {
+        let state = self.cfd()?;
+        let conj_bank = self.conj_bank();
+        let direct_bank = self.direct_bank();
+        let conj_out = self.memories.bank(conj_bank)?.read(state.num_tasks - 1)?;
+        let direct_out = self.memories.bank(direct_bank)?.read(0)?;
+        Ok((conj_out, direct_out))
+    }
+
+    /// Advances both shift registers by one position, inserting the values
+    /// received from the neighbouring tiles (or the FFT source at the array
+    /// ends). Communication is overlapped with computation (the paper's
+    /// Section 4 assumption), so no cycles are charged here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MontiumError::InvalidKernel`] if the tile is not configured.
+    pub fn shift_in(
+        &mut self,
+        incoming_conjugate: Cplx,
+        incoming_direct: Cplx,
+    ) -> Result<(), MontiumError> {
+        let state = self.cfd()?;
+        let t = state.num_tasks;
+        let conj_bank = self.conj_bank();
+        let direct_bank = self.direct_bank();
+        // Conjugate flow moves towards higher task indices.
+        for j in (1..t).rev() {
+            let value = self.memories.bank(conj_bank)?.read(j - 1)?;
+            self.memories.bank(conj_bank)?.write(j, value)?;
+        }
+        self.memories.bank(conj_bank)?.write(0, incoming_conjugate)?;
+        // Direct flow moves towards lower task indices.
+        for j in 0..t - 1 {
+            let value = self.memories.bank(direct_bank)?.read(j + 1)?;
+            self.memories.bank(direct_bank)?.write(j, value)?;
+        }
+        self.memories
+            .bank(direct_bank)?
+            .write(t - 1, incoming_direct)?;
+        Ok(())
+    }
+
+    /// Marks the end of one integration step (block `n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MontiumError::InvalidKernel`] if the tile is not configured.
+    pub fn finish_block(&mut self) -> Result<(), MontiumError> {
+        let state = self.cfd()?;
+        self.cfd = Some(CfdState {
+            blocks_accumulated: state.blocks_accumulated + 1,
+            ..state
+        });
+        Ok(())
+    }
+
+    /// Number of integration steps accumulated so far.
+    pub fn blocks_accumulated(&self) -> usize {
+        self.cfd.map(|s| s.blocks_accumulated).unwrap_or(0)
+    }
+
+    /// Reads back the raw (unnormalised) accumulator of `(task, step)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MontiumError::InvalidKernel`] for an unconfigured tile or
+    /// out-of-range indices.
+    pub fn accumulator(&mut self, task: usize, step: usize) -> Result<Cplx, MontiumError> {
+        let state = self.cfd()?;
+        if task >= state.active_tasks || step >= state.num_frequencies {
+            return Err(MontiumError::InvalidKernel {
+                kernel: "cfd",
+                message: format!(
+                    "accumulator ({task}, {step}) out of range ({} tasks, {} frequencies)",
+                    state.active_tasks, state.num_frequencies
+                ),
+            });
+        }
+        self.memories
+            .read_accumulator(task * state.num_frequencies + step)
+    }
+
+    /// Reads back all accumulators, normalised by the number of accumulated
+    /// blocks: `result[task][step] = Σ_n X·X* / N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MontiumError::InvalidKernel`] if the tile is not configured.
+    pub fn accumulated_results(&mut self) -> Result<Vec<Vec<Cplx>>, MontiumError> {
+        let state = self.cfd()?;
+        let norm = if state.blocks_accumulated == 0 {
+            1.0
+        } else {
+            1.0 / state.blocks_accumulated as f64
+        };
+        let mut results = Vec::with_capacity(state.active_tasks);
+        for task in 0..state.active_tasks {
+            let mut row = Vec::with_capacity(state.num_frequencies);
+            for step in 0..state.num_frequencies {
+                let value = self
+                    .memories
+                    .read_accumulator(task * state.num_frequencies + step)?;
+                row.push(value * norm);
+            }
+            results.push(row);
+        }
+        Ok(results)
+    }
+
+    /// Clears cycle counters, ALU statistics and memories, keeping the CFD
+    /// configuration.
+    pub fn reset_measurements(&mut self) {
+        self.sequencer.reset();
+        self.alu.reset_stats();
+        self.memories.clear();
+        self.regfiles.clear();
+        if let Some(state) = self.cfd {
+            self.cfd = Some(CfdState {
+                blocks_accumulated: 0,
+                ..state
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_dsp::fft::fft;
+    use cfd_dsp::signal::awgn;
+
+    #[test]
+    fn tile_construction_and_accessors() {
+        let tile = MontiumCore::paper();
+        assert_eq!(tile.config().num_memories, 10);
+        assert_eq!(tile.total_cycles(), 0);
+        assert_eq!(tile.elapsed_us(), 0.0);
+        assert_eq!(tile.blocks_accumulated(), 0);
+        assert!((tile.power().area_mm2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fft_on_tile_matches_reference_and_costs_1040_cycles() {
+        let mut tile = MontiumCore::paper();
+        let samples = awgn(256, 1.0, 3);
+        let (spectrum, run) = tile.fft(&samples).unwrap();
+        assert_eq!(run.cycles, 1040);
+        assert_eq!(run.phase, Phase::Fft);
+        let reference = fft(&samples).unwrap();
+        for (a, b) in spectrum.iter().zip(reference.iter()) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+        assert_eq!(tile.alu_stats().butterflies, 1024);
+        assert!(tile.fft(&awgn(100, 1.0, 1)).is_err());
+    }
+
+    #[test]
+    fn reshuffle_conjugates_and_costs_one_cycle_per_value() {
+        let mut tile = MontiumCore::paper();
+        let spectrum = awgn(256, 1.0, 4);
+        let (conjugated, run) = tile.reshuffle(&spectrum);
+        assert_eq!(run.cycles, 256);
+        assert_eq!(run.phase, Phase::Reshuffle);
+        for (c, s) in conjugated.iter().zip(spectrum.iter()) {
+            assert_eq!(*c, s.conj());
+        }
+    }
+
+    #[test]
+    fn configure_cfd_validates_capacity() {
+        let mut tile = MontiumCore::paper();
+        // The paper's configuration fits.
+        tile.configure_cfd(32, 32, 127).unwrap();
+        // T = 64 with F = 127 needs 8128 complex accumulators > 4096.
+        assert!(matches!(
+            tile.configure_cfd(64, 64, 127),
+            Err(MontiumError::CapacityExceeded { .. })
+        ));
+        // Shift register longer than one memory bank.
+        assert!(tile.configure_cfd(600, 1, 2).is_err());
+        // Inconsistent parameters.
+        assert!(tile.configure_cfd(0, 0, 10).is_err());
+        assert!(tile.configure_cfd(4, 8, 10).is_err());
+    }
+
+    #[test]
+    fn unconfigured_tile_rejects_cfd_operations() {
+        let mut tile = MontiumCore::paper();
+        assert!(tile.load_shift_registers(&[], &[]).is_err());
+        assert!(tile.mac_frequency_step(0).is_err());
+        assert!(tile.edge_outputs().is_err());
+        assert!(tile.shift_in(Cplx::ZERO, Cplx::ZERO).is_err());
+        assert!(tile.accumulator(0, 0).is_err());
+        assert!(tile.accumulated_results().is_err());
+        assert!(tile.finish_block().is_err());
+    }
+
+    #[test]
+    fn paper_cycle_budget_per_integration_step() {
+        // One integration step: FFT + reshuffle + init + 127 x (read + 32 MACs).
+        let mut tile = MontiumCore::paper();
+        tile.configure_cfd(32, 32, 127).unwrap();
+        let samples = awgn(256, 1.0, 5);
+        let (spectrum, _) = tile.fft(&samples).unwrap();
+        let (_conj, _) = tile.reshuffle(&spectrum);
+        let window = vec![Cplx::ZERO; 32];
+        tile.load_shift_registers(&window, &window).unwrap();
+        for step in 0..127 {
+            tile.mac_frequency_step(step).unwrap();
+            if step + 1 < 127 {
+                tile.shift_in(Cplx::ZERO, Cplx::ZERO).unwrap();
+            }
+        }
+        tile.finish_block().unwrap();
+        let seq = tile.sequencer();
+        assert_eq!(seq.cycles_in(Phase::Fft), 1040);
+        assert_eq!(seq.cycles_in(Phase::Reshuffle), 256);
+        assert_eq!(seq.cycles_in(Phase::Initialisation), 127);
+        assert_eq!(seq.cycles_in(Phase::ReadData), 381);
+        assert_eq!(seq.cycles_in(Phase::MultiplyAccumulate), 12192);
+        assert_eq!(seq.total_cycles(), 13996);
+        assert!((tile.elapsed_us() - 139.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mac_step_accumulates_the_right_products() {
+        let mut tile = MontiumCore::paper();
+        tile.configure_cfd(2, 2, 3).unwrap();
+        let conj_window = vec![Cplx::new(1.0, 1.0), Cplx::new(0.5, 0.0)];
+        let direct_window = vec![Cplx::new(0.0, 1.0), Cplx::new(2.0, 0.0)];
+        tile.load_shift_registers(&conj_window, &direct_window).unwrap();
+        tile.mac_frequency_step(0).unwrap();
+        tile.finish_block().unwrap();
+        // task 0, step 0: direct * stored conjugated value = (0+1j)(1+1j) = -1+1j
+        assert!((tile.accumulator(0, 0).unwrap() - Cplx::new(-1.0, 1.0)).abs() < 1e-12);
+        // task 1: 2 * 0.5 = 1
+        assert!((tile.accumulator(1, 0).unwrap() - Cplx::ONE).abs() < 1e-12);
+        // untouched slot stays zero
+        assert_eq!(tile.accumulator(0, 1).unwrap(), Cplx::ZERO);
+        assert!(tile.accumulator(0, 5).is_err());
+        assert!(tile.mac_frequency_step(7).is_err());
+        // Window length validation.
+        assert!(tile
+            .load_shift_registers(&conj_window, &direct_window[..1])
+            .is_err());
+    }
+
+    #[test]
+    fn shift_in_moves_flows_in_opposite_directions() {
+        let mut tile = MontiumCore::paper();
+        tile.configure_cfd(3, 3, 4).unwrap();
+        let conj = vec![Cplx::new(1.0, 0.0), Cplx::new(2.0, 0.0), Cplx::new(3.0, 0.0)];
+        let direct = vec![Cplx::new(10.0, 0.0), Cplx::new(20.0, 0.0), Cplx::new(30.0, 0.0)];
+        tile.load_shift_registers(&conj, &direct).unwrap();
+        let (conj_out, direct_out) = tile.edge_outputs().unwrap();
+        assert_eq!(conj_out, Cplx::new(3.0, 0.0)); // last conjugate entry
+        assert_eq!(direct_out, Cplx::new(10.0, 0.0)); // first direct entry
+        tile.shift_in(Cplx::new(0.5, 0.0), Cplx::new(40.0, 0.0)).unwrap();
+        // Conjugate flow: [0.5, 1, 2]; direct flow: [20, 30, 40].
+        let (conj_out2, direct_out2) = tile.edge_outputs().unwrap();
+        assert_eq!(conj_out2, Cplx::new(2.0, 0.0));
+        assert_eq!(direct_out2, Cplx::new(20.0, 0.0));
+    }
+
+    #[test]
+    fn accumulated_results_are_normalised_by_blocks() {
+        let mut tile = MontiumCore::paper();
+        tile.configure_cfd(1, 1, 1).unwrap();
+        for _ in 0..4 {
+            tile.load_shift_registers(&[Cplx::ONE], &[Cplx::ONE]).unwrap();
+            tile.mac_frequency_step(0).unwrap();
+            tile.finish_block().unwrap();
+        }
+        let results = tile.accumulated_results().unwrap();
+        assert_eq!(results.len(), 1);
+        // Four accumulations of 1, normalised by 4 blocks.
+        assert!((results[0][0] - Cplx::ONE).abs() < 1e-12);
+        assert_eq!(tile.blocks_accumulated(), 4);
+        tile.reset_measurements();
+        assert_eq!(tile.total_cycles(), 0);
+        assert_eq!(tile.blocks_accumulated(), 0);
+    }
+
+    #[test]
+    fn q15_tile_quantises_memory_contents() {
+        let mut tile = MontiumCore::new(MontiumConfig::paper().with_q15());
+        tile.configure_cfd(1, 1, 1).unwrap();
+        tile.load_shift_registers(&[Cplx::new(0.1234567, 0.0)], &[Cplx::new(0.5, 0.0)])
+            .unwrap();
+        tile.mac_frequency_step(0).unwrap();
+        tile.finish_block().unwrap();
+        let value = tile.accumulator(0, 0).unwrap();
+        // The product 0.5 * 0.1234567 is close but not equal to the exact
+        // value because every memory word is quantised to Q15.
+        let exact = 0.5 * 0.1234567;
+        assert!((value.re - exact).abs() > 0.0);
+        assert!((value.re - exact).abs() < 2.0 / 32768.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Error types for the Montium tile simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the Montium tile simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MontiumError {
+    /// A memory address was outside the addressed bank.
+    AddressOutOfRange {
+        /// Memory bank identifier (1-based, `M01`..`M10`).
+        bank: usize,
+        /// The offending address (in complex-value entries).
+        address: usize,
+        /// The bank capacity (in complex-value entries).
+        capacity: usize,
+    },
+    /// A memory bank identifier was not in `1..=10`.
+    NoSuchBank {
+        /// The offending identifier.
+        bank: usize,
+    },
+    /// A register-file or register index was invalid.
+    NoSuchRegister {
+        /// Register file identifier (1-based, `RF01`..`RF05`).
+        file: usize,
+        /// Register index within the file.
+        register: usize,
+    },
+    /// A kernel was configured with inconsistent parameters.
+    InvalidKernel {
+        /// Name of the kernel.
+        kernel: &'static str,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The data set does not fit the tile's memories.
+    CapacityExceeded {
+        /// What was being stored.
+        what: &'static str,
+        /// Words required.
+        required_words: usize,
+        /// Words available.
+        available_words: usize,
+    },
+}
+
+impl fmt::Display for MontiumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MontiumError::AddressOutOfRange {
+                bank,
+                address,
+                capacity,
+            } => write!(
+                f,
+                "address {address} out of range for memory M{bank:02} (capacity {capacity} complex entries)"
+            ),
+            MontiumError::NoSuchBank { bank } => {
+                write!(f, "no such memory bank M{bank:02} (valid: M01..M10)")
+            }
+            MontiumError::NoSuchRegister { file, register } => {
+                write!(f, "no such register RF{file:02}[{register}]")
+            }
+            MontiumError::InvalidKernel { kernel, message } => {
+                write!(f, "invalid configuration for kernel `{kernel}`: {message}")
+            }
+            MontiumError::CapacityExceeded {
+                what,
+                required_words,
+                available_words,
+            } => write!(
+                f,
+                "{what} needs {required_words} words but only {available_words} are available"
+            ),
+        }
+    }
+}
+
+impl Error for MontiumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = MontiumError::AddressOutOfRange {
+            bank: 3,
+            address: 600,
+            capacity: 512,
+        };
+        assert!(e.to_string().contains("M03"));
+        assert!(MontiumError::NoSuchBank { bank: 11 }.to_string().contains("M11"));
+        assert!(MontiumError::NoSuchRegister { file: 2, register: 9 }
+            .to_string()
+            .contains("RF02"));
+        let e = MontiumError::InvalidKernel {
+            kernel: "dscf_mac",
+            message: "zero tasks".into(),
+        };
+        assert!(e.to_string().contains("dscf_mac"));
+        let e = MontiumError::CapacityExceeded {
+            what: "accumulators",
+            required_words: 9000,
+            available_words: 8192,
+        };
+        assert!(e.to_string().contains("9000"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<MontiumError>();
+    }
+}

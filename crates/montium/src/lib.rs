@@ -1,0 +1,76 @@
+//! # `montium-sim` — a cycle-level Montium tile simulator
+//!
+//! The paper maps the folded DSCF computation onto Montium coarse-grain
+//! reconfigurable cores and obtains its performance numbers (Table 1) from
+//! the Montium simulator. That simulator and the silicon are not available,
+//! so this crate provides the substitute substrate: a cycle-level,
+//! functionally accurate model of one tile with
+//!
+//! * ten parallel memories with address-generation units ([`memory`]),
+//! * five register files ([`regfile`]),
+//! * a complex ALU executing one complex multiplication per issue and a
+//!   3-cycle multiply–accumulate in the sequenced DSCF kernel ([`alu`]),
+//! * a configurable interconnect ([`interconnect`]),
+//! * a sequencer that accounts cycles per kernel phase — the Table 1 rows —
+//!   ([`sequencer`]),
+//! * the CFD kernel state machine of Fig. 11 ([`core`], [`kernels`]),
+//! * and the area/power model of Section 5 ([`power`]).
+//!
+//! The cycle model is calibrated to the published Montium figures (3 cycles
+//! per MAC, 3 cycles of data read per task group, 1040 cycles for a
+//! 256-point FFT, 100 MHz, 2 mm², 500 µW/MHz); the functional model is
+//! validated against the golden-model DSCF of [`cfd_dsp`].
+//!
+//! ## Example: reproduce the Table 1 cycle budget
+//!
+//! ```
+//! use montium_sim::core::MontiumCore;
+//! use montium_sim::kernels::{configure_tile, run_integration_step, TileTaskSet};
+//! use cfd_dsp::signal::awgn;
+//!
+//! # fn main() -> Result<(), montium_sim::error::MontiumError> {
+//! let mut tile = MontiumCore::paper();
+//! let task_set = TileTaskSet::paper(0)?;
+//! configure_tile(&mut tile, &task_set)?;
+//! let run = run_integration_step(&mut tile, &task_set, &awgn(256, 1.0, 7))?;
+//! assert_eq!(run.cycles.total(), 13_996);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alu;
+pub mod config;
+pub mod core;
+pub mod error;
+pub mod interconnect;
+pub mod kernels;
+pub mod memory;
+pub mod power;
+pub mod regfile;
+pub mod sequencer;
+
+pub use config::MontiumConfig;
+pub use core::MontiumCore;
+pub use error::MontiumError;
+pub use kernels::TileTaskSet;
+pub use sequencer::{KernelRun, Phase, Sequencer};
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::alu::{AluOp, AluStats, ComplexAlu};
+    pub use crate::config::MontiumConfig;
+    pub use crate::core::MontiumCore;
+    pub use crate::error::MontiumError;
+    pub use crate::interconnect::{Connection, InterconnectConfig, Port};
+    pub use crate::kernels::{
+        configure_tile, run_dscf_block, run_integration_step, IntegrationStepCycles,
+        IntegrationStepRun, TileTaskSet,
+    };
+    pub use crate::memory::{Agu, MemoryBank, MemorySystem};
+    pub use crate::power::TilePower;
+    pub use crate::regfile::{RegisterFile, RegisterFileSet};
+    pub use crate::sequencer::{KernelRun, Phase, Sequencer};
+}

@@ -1,0 +1,177 @@
+//! The register files RF01..RF05 of a Montium tile.
+//!
+//! The register files sit between the memories and the ALU (Fig. 10); in the
+//! CFD kernel they hold the operands selected by the shift-register switches
+//! and the running accumulator between the read-modify-write of the
+//! accumulation memory.
+
+use crate::config::MontiumConfig;
+use crate::error::MontiumError;
+use cfd_dsp::complex::Cplx;
+
+/// One register file with a small number of complex-valued registers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterFile {
+    id: usize,
+    registers: Vec<Cplx>,
+    accesses: u64,
+}
+
+impl RegisterFile {
+    /// Creates register file `RF<id>` with `size` registers.
+    pub fn new(id: usize, size: usize) -> Self {
+        RegisterFile {
+            id,
+            registers: vec![Cplx::ZERO; size],
+            accesses: 0,
+        }
+    }
+
+    /// The file identifier (1-based).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The number of registers in the file.
+    pub fn len(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Returns `true` if the file has no registers.
+    pub fn is_empty(&self) -> bool {
+        self.registers.is_empty()
+    }
+
+    /// Number of read/write accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Reads register `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MontiumError::NoSuchRegister`] if the index is out of range.
+    pub fn read(&mut self, index: usize) -> Result<Cplx, MontiumError> {
+        let value = self
+            .registers
+            .get(index)
+            .copied()
+            .ok_or(MontiumError::NoSuchRegister {
+                file: self.id,
+                register: index,
+            })?;
+        self.accesses += 1;
+        Ok(value)
+    }
+
+    /// Writes register `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MontiumError::NoSuchRegister`] if the index is out of range.
+    pub fn write(&mut self, index: usize, value: Cplx) -> Result<(), MontiumError> {
+        let id = self.id;
+        let len = self.registers.len();
+        let slot = self
+            .registers
+            .get_mut(index)
+            .ok_or(MontiumError::NoSuchRegister {
+                file: id,
+                register: index.min(len),
+            })?;
+        *slot = value;
+        self.accesses += 1;
+        Ok(())
+    }
+
+    /// Clears the registers and the access counter.
+    pub fn clear(&mut self) {
+        for r in &mut self.registers {
+            *r = Cplx::ZERO;
+        }
+        self.accesses = 0;
+    }
+}
+
+/// The five register files of a tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterFileSet {
+    files: Vec<RegisterFile>,
+}
+
+impl RegisterFileSet {
+    /// Builds the register files described by `config`.
+    pub fn new(config: &MontiumConfig) -> Self {
+        RegisterFileSet {
+            files: (1..=config.num_register_files)
+                .map(|id| RegisterFile::new(id, config.registers_per_file))
+                .collect(),
+        }
+    }
+
+    /// Number of register files.
+    pub fn num_files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Borrows register file `RF<id>` (1-based).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MontiumError::NoSuchRegister`] for an invalid file id.
+    pub fn file(&mut self, id: usize) -> Result<&mut RegisterFile, MontiumError> {
+        if id == 0 || id > self.files.len() {
+            return Err(MontiumError::NoSuchRegister {
+                file: id,
+                register: 0,
+            });
+        }
+        Ok(&mut self.files[id - 1])
+    }
+
+    /// Total accesses across all files.
+    pub fn total_accesses(&self) -> u64 {
+        self.files.iter().map(|f| f.accesses()).sum()
+    }
+
+    /// Clears every file.
+    pub fn clear(&mut self) {
+        for f in &mut self.files {
+            f.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_file_read_write() {
+        let mut rf = RegisterFile::new(1, 4);
+        assert_eq!(rf.id(), 1);
+        assert_eq!(rf.len(), 4);
+        assert!(!rf.is_empty());
+        rf.write(2, Cplx::new(1.0, -1.0)).unwrap();
+        assert_eq!(rf.read(2).unwrap(), Cplx::new(1.0, -1.0));
+        assert_eq!(rf.accesses(), 2);
+        assert!(rf.read(4).is_err());
+        assert!(rf.write(9, Cplx::ONE).is_err());
+        rf.clear();
+        assert_eq!(rf.accesses(), 0);
+        assert_eq!(rf.read(2).unwrap(), Cplx::ZERO);
+    }
+
+    #[test]
+    fn register_file_set_matches_config() {
+        let mut set = RegisterFileSet::new(&MontiumConfig::paper());
+        assert_eq!(set.num_files(), 5);
+        assert!(set.file(0).is_err());
+        assert!(set.file(6).is_err());
+        set.file(3).unwrap().write(0, Cplx::ONE).unwrap();
+        assert_eq!(set.total_accesses(), 1);
+        set.clear();
+        assert_eq!(set.total_accesses(), 0);
+    }
+}

@@ -1,0 +1,501 @@
+//! The tiled SoC: `Q` Montium tiles executing the folded DSCF computation
+//! with explicit inter-tile streams.
+//!
+//! The platform corresponds to the AAF DRBPF of Section 4: the 127-task
+//! systolic array of Step 1 is folded onto the tiles, each tile runs the
+//! Fig. 11 kernel on its Montium core, and the array-boundary values cross
+//! between tiles once per frequency step (a rate `T` times lower than the
+//! multiply–accumulate rate, as the paper argues).
+//!
+//! Two execution modes produce identical results:
+//!
+//! * **lockstep** — all tiles advance one frequency step at a time in a
+//!   single thread (deterministic, cheap);
+//! * **threaded** — one thread per tile, inter-tile streams carried by
+//!   crossbeam channels.
+
+use crate::config::{ExecutionMode, SocConfig};
+use crate::error::SocError;
+use crate::link::{ChannelLink, QueueLink, StreamWord};
+use crate::power::PlatformMetrics;
+use crate::tile::{Tile, TileCycleBreakdown};
+use cfd_dsp::complex::Cplx;
+use cfd_dsp::scf::ScfMatrix;
+use cfd_mapping::folding::Folding;
+use montium_sim::kernels::TileTaskSet;
+use serde::{Deserialize, Serialize};
+
+/// The result of running one or more integration steps on the platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocRun {
+    /// The accumulated DSCF over all processed blocks.
+    pub scf: ScfMatrix,
+    /// Number of blocks (integration steps) processed.
+    pub blocks: usize,
+    /// Per-tile cycle breakdowns (over all processed blocks).
+    pub per_tile_cycles: Vec<TileCycleBreakdown>,
+    /// Words exchanged between tiles (both flows).
+    pub inter_tile_transfers: u64,
+    /// Words injected from the FFT source at the array boundaries.
+    pub source_inputs: u64,
+}
+
+impl SocRun {
+    /// The critical-path cycle count: the largest per-tile total.
+    pub fn max_tile_cycles(&self) -> u64 {
+        self.per_tile_cycles
+            .iter()
+            .map(|t| t.total())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The critical-path cycles per block.
+    pub fn cycles_per_block(&self) -> u64 {
+        if self.blocks == 0 {
+            0
+        } else {
+            self.max_tile_cycles() / self.blocks as u64
+        }
+    }
+}
+
+/// The tiled System-on-Chip.
+#[derive(Debug)]
+pub struct TiledSoc {
+    config: SocConfig,
+    max_offset: usize,
+    fft_len: usize,
+    folding: Folding,
+    tiles: Vec<Tile>,
+    inter_tile_transfers: u64,
+    source_inputs: u64,
+}
+
+impl TiledSoc {
+    /// Builds a platform of `config.num_tiles` tiles for a DSCF grid of
+    /// half-width `max_offset` over `fft_len`-point spectra.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidConfiguration`] for a zero-tile platform
+    /// and propagates folding/capacity errors.
+    pub fn new(config: SocConfig, max_offset: usize, fft_len: usize) -> Result<Self, SocError> {
+        if config.num_tiles == 0 {
+            return Err(SocError::InvalidConfiguration {
+                message: "the platform needs at least one tile".into(),
+            });
+        }
+        let p = 2 * max_offset + 1;
+        let folding = Folding::new(p, config.num_tiles)?;
+        let mut tiles = Vec::with_capacity(config.num_tiles);
+        for q in 0..config.num_tiles {
+            let task_set = TileTaskSet::new(&folding, q, max_offset, fft_len)
+                .map_err(|e| crate::error::tile_error(q, e))?;
+            tiles.push(Tile::new(q, config.tile.clone(), task_set)?);
+        }
+        Ok(TiledSoc {
+            config,
+            max_offset,
+            fft_len,
+            folding,
+            tiles,
+            inter_tile_transfers: 0,
+            source_inputs: 0,
+        })
+    }
+
+    /// The paper's platform: 4 tiles, 256-point spectra, 127×127 DSCF.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper's constants; the `Result` mirrors
+    /// [`TiledSoc::new`].
+    pub fn paper() -> Result<Self, SocError> {
+        TiledSoc::new(SocConfig::paper(), 63, 256)
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &SocConfig {
+        &self.config
+    }
+
+    /// The Step-1 folding realised by this platform.
+    pub fn folding(&self) -> &Folding {
+        &self.folding
+    }
+
+    /// The DSCF grid half-width `M`.
+    pub fn max_offset(&self) -> usize {
+        self.max_offset
+    }
+
+    /// The FFT length `K`.
+    pub fn fft_len(&self) -> usize {
+        self.fft_len
+    }
+
+    /// The number of tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Runs `num_blocks` integration steps over `signal` (consecutive,
+    /// non-overlapping blocks of `fft_len` samples) and returns the
+    /// accumulated DSCF plus the platform statistics.
+    ///
+    /// # Errors
+    ///
+    /// * [`SocError::Dsp`] if the signal is too short,
+    /// * tile and execution errors otherwise.
+    pub fn run(&mut self, signal: &[Cplx], num_blocks: usize) -> Result<SocRun, SocError> {
+        let needed = num_blocks * self.fft_len;
+        if signal.len() < needed {
+            return Err(SocError::Dsp(cfd_dsp::error::DspError::InsufficientSamples {
+                needed,
+                available: signal.len(),
+            }));
+        }
+        for block in 0..num_blocks {
+            let samples = &signal[block * self.fft_len..(block + 1) * self.fft_len];
+            match self.config.mode {
+                ExecutionMode::Lockstep => self.run_block_lockstep(samples)?,
+                ExecutionMode::Threaded => self.run_block_threaded(samples)?,
+            }
+        }
+        Ok(SocRun {
+            scf: self.gather_scf()?,
+            blocks: num_blocks,
+            per_tile_cycles: self.tiles.iter().map(|t| t.cycle_breakdown()).collect(),
+            inter_tile_transfers: self.inter_tile_transfers,
+            source_inputs: self.source_inputs,
+        })
+    }
+
+    /// Platform metrics (area, power, bandwidth) given the critical-path
+    /// cycles of a previous run.
+    pub fn metrics(&self, run: &SocRun) -> PlatformMetrics {
+        PlatformMetrics::new(&self.config, run.cycles_per_block(), self.fft_len)
+    }
+
+    /// Clears all tile accumulators and counters.
+    pub fn reset(&mut self) {
+        for tile in &mut self.tiles {
+            tile.reset();
+        }
+        self.inter_tile_transfers = 0;
+        self.source_inputs = 0;
+    }
+
+    fn run_block_lockstep(&mut self, samples: &[Cplx]) -> Result<(), SocError> {
+        let q_count = self.tiles.len();
+        let f_count = 2 * self.max_offset + 1;
+        for tile in &mut self.tiles {
+            tile.begin_block(samples)?;
+        }
+        // One FIFO per internal boundary and flow; they carry exactly one
+        // word per frequency step.
+        let mut conj_links: Vec<QueueLink> = (0..q_count.saturating_sub(1))
+            .map(|_| QueueLink::new())
+            .collect();
+        let mut direct_links: Vec<QueueLink> = (0..q_count.saturating_sub(1))
+            .map(|_| QueueLink::new())
+            .collect();
+
+        for step in 0..f_count {
+            for tile in &mut self.tiles {
+                tile.mac_step(step)?;
+            }
+            if step + 1 == f_count {
+                break;
+            }
+            // Produce boundary values onto the links.
+            for q in 0..q_count {
+                let (conj_out, direct_out) = self.tiles[q].edge_outputs()?;
+                if q + 1 < q_count {
+                    conj_links[q].send(StreamWord {
+                        value: conj_out,
+                        conjugate_flow: true,
+                    });
+                }
+                if q > 0 {
+                    direct_links[q - 1].send(StreamWord {
+                        value: direct_out,
+                        conjugate_flow: false,
+                    });
+                }
+            }
+            // Consume and shift.
+            for q in 0..q_count {
+                let incoming_conj = if q == 0 {
+                    self.source_inputs += 1;
+                    self.tiles[q].source_conjugate(step + 1)
+                } else {
+                    conj_links[q - 1]
+                        .receive()
+                        .expect("conjugate link underflow")
+                        .value
+                };
+                let incoming_direct = if q + 1 == q_count {
+                    self.source_inputs += 1;
+                    self.tiles[q].source_direct(step + 1)
+                } else {
+                    direct_links[q]
+                        .receive()
+                        .expect("direct link underflow")
+                        .value
+                };
+                self.tiles[q].shift_in(incoming_conj, incoming_direct)?;
+            }
+        }
+        for link in conj_links.iter().chain(direct_links.iter()) {
+            self.inter_tile_transfers += link.transfers();
+        }
+        for tile in &mut self.tiles {
+            tile.finish_block()?;
+        }
+        Ok(())
+    }
+
+    fn run_block_threaded(&mut self, samples: &[Cplx]) -> Result<(), SocError> {
+        let q_count = self.tiles.len();
+        let f_count = 2 * self.max_offset + 1;
+        // conj_links[q]: tile q -> tile q+1; direct_links[q]: tile q+1 -> tile q.
+        let conj_links: Vec<ChannelLink> = (0..q_count.saturating_sub(1))
+            .map(|_| ChannelLink::new())
+            .collect();
+        let direct_links: Vec<ChannelLink> = (0..q_count.saturating_sub(1))
+            .map(|_| ChannelLink::new())
+            .collect();
+
+        let results: Vec<Result<(), SocError>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(q_count);
+            for (q, tile) in self.tiles.iter_mut().enumerate() {
+                let conj_in = if q > 0 { Some(conj_links[q - 1].clone()) } else { None };
+                let conj_out = if q + 1 < q_count {
+                    Some(conj_links[q].clone())
+                } else {
+                    None
+                };
+                let direct_in = if q + 1 < q_count {
+                    Some(direct_links[q].clone())
+                } else {
+                    None
+                };
+                let direct_out = if q > 0 {
+                    Some(direct_links[q - 1].clone())
+                } else {
+                    None
+                };
+                handles.push(scope.spawn(move || -> Result<(), SocError> {
+                    tile.begin_block(samples)?;
+                    for step in 0..f_count {
+                        tile.mac_step(step)?;
+                        if step + 1 == f_count {
+                            break;
+                        }
+                        let (conj_edge, direct_edge) = tile.edge_outputs()?;
+                        if let Some(link) = &conj_out {
+                            link.send(StreamWord {
+                                value: conj_edge,
+                                conjugate_flow: true,
+                            });
+                        }
+                        if let Some(link) = &direct_out {
+                            link.send(StreamWord {
+                                value: direct_edge,
+                                conjugate_flow: false,
+                            });
+                        }
+                        let incoming_conj = match &conj_in {
+                            Some(link) => {
+                                link.receive()
+                                    .map_err(|message| SocError::ExecutionFailure { message })?
+                                    .value
+                            }
+                            None => tile.source_conjugate(step + 1),
+                        };
+                        let incoming_direct = match &direct_in {
+                            Some(link) => {
+                                link.receive()
+                                    .map_err(|message| SocError::ExecutionFailure { message })?
+                                    .value
+                            }
+                            None => tile.source_direct(step + 1),
+                        };
+                        tile.shift_in(incoming_conj, incoming_direct)?;
+                    }
+                    tile.finish_block()?;
+                    Ok(())
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(SocError::ExecutionFailure {
+                            message: "tile worker panicked".into(),
+                        })
+                    })
+                })
+                .collect()
+        });
+        for r in results {
+            r?;
+        }
+        for link in conj_links.iter().chain(direct_links.iter()) {
+            self.inter_tile_transfers += link.transfers();
+        }
+        // Source inputs: one per boundary end per shift.
+        self.source_inputs += 2 * (f_count as u64 - 1);
+        Ok(())
+    }
+
+    fn gather_scf(&mut self) -> Result<ScfMatrix, SocError> {
+        let m = self.max_offset as i32;
+        let mut matrix = ScfMatrix::zeros(self.max_offset);
+        let tasks_per_core = self.folding.tasks_per_core;
+        for tile in &mut self.tiles {
+            let first_task = tile.task_set().first_task;
+            let results = tile.results()?;
+            for (j, row) in results.iter().enumerate() {
+                let a = (first_task + j) as i32 - m;
+                for (step, &value) in row.iter().enumerate() {
+                    let f = step as i32 - m;
+                    matrix.set(f, a, value);
+                }
+            }
+            debug_assert!(results.len() <= tasks_per_core);
+        }
+        Ok(matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_dsp::prelude::*;
+    use cfd_dsp::scf::dscf_reference;
+    use cfd_dsp::signal::{awgn, modulated_signal, ModulatedSignalSpec};
+
+    fn small_soc(mode: ExecutionMode, tiles: usize) -> TiledSoc {
+        let config = SocConfig::paper().with_tiles(tiles).with_mode(mode);
+        TiledSoc::new(config, 7, 32).unwrap()
+    }
+
+    fn test_signal(blocks: usize) -> (Vec<Cplx>, ScfParams) {
+        let params = ScfParams::new(32, 7, blocks).unwrap();
+        let spec = ModulatedSignalSpec {
+            samples_per_symbol: 4,
+            ..Default::default()
+        };
+        let signal = modulated_signal(params.samples_needed(), &spec, 17).unwrap();
+        (signal, params)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let soc = small_soc(ExecutionMode::Lockstep, 4);
+        assert_eq!(soc.num_tiles(), 4);
+        assert_eq!(soc.max_offset(), 7);
+        assert_eq!(soc.fft_len(), 32);
+        assert_eq!(soc.folding().tasks_per_core, 4);
+        assert!(TiledSoc::new(SocConfig::paper().with_tiles(0), 7, 32).is_err());
+    }
+
+    #[test]
+    fn lockstep_run_matches_reference_dscf() {
+        let (signal, params) = test_signal(3);
+        let reference = dscf_reference(&signal, &params).unwrap();
+        let mut soc = small_soc(ExecutionMode::Lockstep, 4);
+        let run = soc.run(&signal, 3).unwrap();
+        assert!(
+            run.scf.max_abs_difference(&reference) < 1e-9,
+            "difference {}",
+            run.scf.max_abs_difference(&reference)
+        );
+        assert_eq!(run.blocks, 3);
+        assert_eq!(run.per_tile_cycles.len(), 4);
+        assert!(run.inter_tile_transfers > 0);
+    }
+
+    #[test]
+    fn threaded_run_matches_lockstep_exactly() {
+        let (signal, _) = test_signal(2);
+        let mut lockstep = small_soc(ExecutionMode::Lockstep, 4);
+        let mut threaded = small_soc(ExecutionMode::Threaded, 4);
+        let run_a = lockstep.run(&signal, 2).unwrap();
+        let run_b = threaded.run(&signal, 2).unwrap();
+        assert!(run_a.scf.max_abs_difference(&run_b.scf) < 1e-12);
+        assert_eq!(run_a.inter_tile_transfers, run_b.inter_tile_transfers);
+        assert_eq!(
+            run_a.per_tile_cycles[0].total(),
+            run_b.per_tile_cycles[0].total()
+        );
+    }
+
+    #[test]
+    fn different_tile_counts_give_identical_results() {
+        let (signal, params) = test_signal(2);
+        let reference = dscf_reference(&signal, &params).unwrap();
+        for tiles in [1usize, 2, 3, 4, 5] {
+            let mut soc = small_soc(ExecutionMode::Lockstep, tiles);
+            let run = soc.run(&signal, 2).unwrap();
+            assert!(
+                run.scf.max_abs_difference(&reference) < 1e-9,
+                "tiles = {tiles}"
+            );
+        }
+    }
+
+    #[test]
+    fn communication_volume_matches_the_t_times_lower_rate_claim() {
+        let (signal, _) = test_signal(1);
+        let mut soc = small_soc(ExecutionMode::Lockstep, 4);
+        let run = soc.run(&signal, 1).unwrap();
+        let f_count = 15u64;
+        // Two flows on each of the 3 internal boundaries, one word per
+        // frequency step except the last.
+        assert_eq!(run.inter_tile_transfers, 2 * 3 * (f_count - 1));
+        // Per tile and per flow, transfers are F-1 while MACs are T*F: the
+        // ratio is ~T.
+        let macs = run.per_tile_cycles[0].multiply_accumulate / 3; // 3 cycles per MAC
+        let transfers_per_flow = f_count - 1;
+        let ratio = macs as f64 / transfers_per_flow as f64;
+        let t = soc.folding().tasks_per_core as f64;
+        assert!((ratio - t * f_count as f64 / (f_count - 1) as f64).abs() < 0.5);
+    }
+
+    #[test]
+    fn paper_platform_cycle_budget_and_metrics() {
+        let mut soc = TiledSoc::paper().unwrap();
+        let signal = awgn(256, 1.0, 4);
+        let run = soc.run(&signal, 1).unwrap();
+        // The critical tile reproduces Table 1 exactly.
+        assert_eq!(run.max_tile_cycles(), 13_996);
+        assert_eq!(run.cycles_per_block(), 13_996);
+        let metrics = soc.metrics(&run);
+        assert!((metrics.time_per_block_us - 139.96).abs() < 1e-9);
+        assert!((metrics.area_mm2 - 8.0).abs() < 1e-12);
+        assert!((metrics.power_mw - 200.0).abs() < 1e-9);
+        assert!((metrics.analysed_bandwidth_khz - 915.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn run_rejects_short_signals() {
+        let mut soc = small_soc(ExecutionMode::Lockstep, 2);
+        let signal = awgn(40, 1.0, 1);
+        assert!(matches!(soc.run(&signal, 2), Err(SocError::Dsp(_))));
+    }
+
+    #[test]
+    fn reset_clears_accumulation() {
+        let (signal, _) = test_signal(1);
+        let mut soc = small_soc(ExecutionMode::Lockstep, 2);
+        let first = soc.run(&signal, 1).unwrap();
+        soc.reset();
+        let second = soc.run(&signal, 1).unwrap();
+        assert!(first.scf.max_abs_difference(&second.scf) < 1e-12);
+        assert_eq!(first.inter_tile_transfers, second.inter_tile_transfers);
+    }
+}

@@ -1,0 +1,51 @@
+//! Design-space exploration with the two-step methodology.
+//!
+//! Sweeps the number of Montium cores and the spectrum size, reporting the
+//! folded architecture (T, memory need), the per-step cycle budget and the
+//! Section 5 platform metrics — the "scalability property" the paper uses to
+//! extrapolate to other platform configurations.
+//!
+//! Run with: `cargo run --example mapping_exploration`
+
+use cfd_tiled_soc::core::prelude::*;
+use cfd_tiled_soc::mapping::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Scaling the platform for the paper's 256-point application -------
+    let application = CfdApplication::paper();
+    println!("== Platform scaling for the 127x127 DSCF (256-point spectra) ==");
+    let study = EvaluationReport::scaling_study(&application, &[1, 2, 4, 8, 16, 32])?;
+    print!("{}", study.render());
+
+    // --- Scaling the application on the 4-core AAF platform ---------------
+    println!("\n== Application scaling on the 4-tile platform ==");
+    println!("K     M    grid      T   cycles/block  time [us]  bandwidth [kHz]  fits");
+    for (fft_len, max_offset) in [(64usize, 15usize), (128, 31), (256, 63), (512, 127), (1024, 255)] {
+        let app = CfdApplication::new(fft_len, max_offset, 1)?;
+        let report = TwoStepMapping::analyse(&app, &Platform::paper())?;
+        println!(
+            "{fft_len:<5} {max_offset:<4} {:>3}x{:<3} {:>4} {:>13} {:>10.2} {:>16.1}  {}",
+            app.grid_size(),
+            app.grid_size(),
+            report.step1.tasks_per_core,
+            report.step2.cycles.total(),
+            report.step2.time_per_block_us,
+            report.metrics.analysed_bandwidth_khz,
+            if report.step2.accumulators_fit { "yes" } else { "no" }
+        );
+    }
+
+    // --- The structural artefacts of Step 1 for a small instance ----------
+    println!("\n== Step 1 artefacts for a small instance (M = 3, the paper's figures) ==");
+    let diagram = SpaceTimeDiagram::figure5();
+    print!("{}", diagram.render());
+    let systolic = SystolicArray::new(3, 16).architecture();
+    println!("{}", systolic.render());
+    let folding = Folding::new(7, 2)?;
+    println!(
+        "folding 7 tasks onto 2 cores: T = {} (eq. 8), core of task 5 = {} (eq. 9)",
+        folding.tasks_per_core,
+        folding.core_of_task(5)
+    );
+    Ok(())
+}

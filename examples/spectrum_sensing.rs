@@ -1,0 +1,83 @@
+//! Cognitive-radio spectrum sensing on the simulated tiled SoC.
+//!
+//! The scenario of the paper's introduction: an emergency-communication
+//! cognitive radio must find vacant spectrum. A BPSK licensed user appears
+//! at various SNRs; the sensor computes the DSCF on the simulated 4-tile
+//! platform and thresholds its cyclic features, while an energy detector
+//! with a slightly mis-calibrated noise floor serves as the baseline.
+//!
+//! Run with: `cargo run --release --example spectrum_sensing`
+
+use cfd_tiled_soc::core::prelude::*;
+use cfd_tiled_soc::dsp::prelude::*;
+
+fn observation(present: bool, snr_db: f64, len: usize, seed: u64) -> Vec<Cplx> {
+    let mut builder = SignalBuilder::new(len)
+        .modulation(SymbolModulation::Bpsk)
+        .samples_per_symbol(4)
+        .seed(seed);
+    if present {
+        builder = builder.snr_db(snr_db);
+    } else {
+        builder = builder.noise_only();
+    }
+    builder.build().expect("valid builder").samples
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A compact sensing configuration so the example runs quickly:
+    // 15x15 DSCF over 32-point spectra, 64 integration steps per decision.
+    let application = CfdApplication::new(32, 7, 64)?;
+    let platform = Platform::paper();
+    let mut sensor = SpectrumSensor::new(application.clone(), &platform, 0.35, 1)?;
+    let samples_per_decision = sensor.samples_per_decision();
+    // The energy detector believes the noise floor is 1.0, but the actual
+    // noise is 1 dB stronger — the classic situation where CFD pays off.
+    let noise_uncertainty = 1.26_f64;
+    let trials = 8;
+
+    println!("samples per decision: {samples_per_decision}");
+    println!("snr [dB]  CFD Pd   CFD Pfa   Energy Pd  Energy Pfa  latency [us]");
+    for snr_db in [-2.0, 0.0, 2.0, 5.0, 10.0] {
+        let mut cfd_detections = 0;
+        let mut cfd_false_alarms = 0;
+        let mut energy_detections = 0;
+        let mut energy_false_alarms = 0;
+        let mut latency = 0.0;
+        for trial in 0..trials {
+            let busy: Vec<Cplx> = observation(true, snr_db, samples_per_decision, 100 + trial)
+                .into_iter()
+                .map(|x| x * noise_uncertainty.sqrt())
+                .collect();
+            let idle: Vec<Cplx> = observation(false, 0.0, samples_per_decision, 200 + trial)
+                .into_iter()
+                .map(|x| x * noise_uncertainty.sqrt())
+                .collect();
+
+            let busy_report = sensor.sense(&busy)?;
+            let idle_report = sensor.sense(&idle)?;
+            latency = busy_report.latency_us;
+            cfd_detections += busy_report.occupied() as usize;
+            cfd_false_alarms += idle_report.occupied() as usize;
+
+            energy_detections +=
+                energy_detector_baseline(&busy, 1.0, 0.05)?.decision.is_signal() as usize;
+            energy_false_alarms +=
+                energy_detector_baseline(&idle, 1.0, 0.05)?.decision.is_signal() as usize;
+        }
+        println!(
+            "{snr_db:>8.1}  {:>6.2}  {:>8.2}  {:>9.2}  {:>10.2}  {latency:>12.1}",
+            cfd_detections as f64 / trials as f64,
+            cfd_false_alarms as f64 / trials as f64,
+            energy_detections as f64 / trials as f64,
+            energy_false_alarms as f64 / trials as f64,
+        );
+    }
+    println!();
+    println!(
+        "Note how the energy detector false-alarms on the empty band because its noise\n\
+         estimate is 1 dB off, while the CFD statistic (normalised by the a = 0 ridge)\n\
+         is unaffected — the reason the paper accepts the 16x higher compute cost."
+    );
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! # `cfd-tiled-soc`
+//!
+//! Umbrella crate of the reproduction of *"Cyclostationary Feature Detection
+//! on a tiled-SoC"* (Kokkeler, Smit, Krol, Kuper — DATE 2007). It re-exports
+//! the five member crates so applications can depend on a single crate:
+//!
+//! * [`dsp`] (`cfd-dsp`) — FFT, signal generators, the Discrete Spectral
+//!   Correlation Function (eq. 3), energy and cyclostationary detectors;
+//! * [`mapping`] (`cfd-mapping`) — Step 1: dependence graphs, space–time
+//!   transformations, the systolic array and its folding onto `Q` cores;
+//! * [`montium`] (`montium-sim`) — Step 2 substrate: a cycle-level Montium
+//!   tile simulator calibrated to the published figures;
+//! * [`soc`] (`tiled-soc`) — the 4-tile AAF platform with explicit
+//!   inter-tile streams;
+//! * [`core`] (`cfd-core`) — the two-step methodology, Table 1 / Section 5
+//!   reports and end-to-end spectrum sensing.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cfd_tiled_soc::core::prelude::*;
+//!
+//! # fn main() -> Result<(), cfd_tiled_soc::core::error::CfdError> {
+//! let report = TwoStepMapping::analyse(&CfdApplication::paper(), &Platform::paper())?;
+//! assert_eq!(report.step2.cycles.total(), 13_996);   // Table 1 total
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
+//! the binaries that regenerate every table and figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use cfd_core as core;
+pub use cfd_dsp as dsp;
+pub use cfd_mapping as mapping;
+pub use montium_sim as montium;
+pub use tiled_soc as soc;

@@ -1,0 +1,114 @@
+//! Integration tests pinning every number the paper reports to the
+//! reproduction: the Section 2 cost comparison, the Section 3 folding, the
+//! Section 4.1 memory sizing and Table 1, and the Section 5 evaluation.
+
+use cfd_core::prelude::*;
+use cfd_dsp::fft::{dscf_complex_multiplications, dscf_to_fft_cost_ratio, fft_complex_multiplications};
+use cfd_dsp::signal::awgn;
+use cfd_mapping::folding::Folding;
+use cfd_mapping::memory::{MemoryRequirement, ShiftRegisterRequirement};
+use montium_sim::kernels::{configure_tile, run_integration_step, TileTaskSet};
+use montium_sim::MontiumCore;
+use tiled_soc::soc::TiledSoc;
+
+#[test]
+fn section2_cost_comparison() {
+    // "calculating the DSCF for a 256 point spectrum involves 16 times as
+    // many complex multiplications than the determination of the spectrum".
+    assert_eq!(fft_complex_multiplications(256), 1024);
+    assert_eq!(dscf_complex_multiplications(256), 16384);
+    assert!((dscf_to_fft_cost_ratio(256) - 16.0).abs() < 1e-12);
+}
+
+#[test]
+fn section3_folding_onto_four_montiums() {
+    // "127 complex multipliers are needed" and, with Q = 4, "the number of
+    // tasks to be executed by one Montium core is therefore smaller than or
+    // equal to 32".
+    let folding = Folding::paper();
+    assert_eq!(folding.initial_processors, 127);
+    assert_eq!(folding.tasks_per_core, 32);
+    assert!(folding.is_partition());
+    for q in 0..4 {
+        assert!(folding.load_of_core(q) <= 32);
+    }
+}
+
+#[test]
+fn section41_memory_sizing() {
+    // "T*F = 32*127 < 4K complex values or less than 8K real values. The
+    // total memory capacity of the Montium memories M01 to M08 equals 8K
+    // words of 16 bits." and "Each memory [M09/M10] contains 32 complex
+    // values."
+    let memory = MemoryRequirement::paper();
+    assert_eq!(memory.complex_values(), 4064);
+    assert!(memory.complex_values() < 4096);
+    assert!(memory.real_words() < 8192);
+    memory.check_fits(8192).unwrap();
+    assert!((memory.dynamic_range_db() - 96.0).abs() < 1.0);
+    let shift = ShiftRegisterRequirement::new(&Folding::paper());
+    assert_eq!(shift.complex_values_per_flow(), 32);
+}
+
+#[test]
+fn table1_from_the_cycle_level_tile_simulation() {
+    // The cycle-level tile simulation reproduces every row of Table 1.
+    let mut tile = MontiumCore::paper();
+    let task_set = TileTaskSet::paper(0).unwrap();
+    configure_tile(&mut tile, &task_set).unwrap();
+    let run = run_integration_step(&mut tile, &task_set, &awgn(256, 1.0, 1)).unwrap();
+    let table = Table1Report::from_cycles(&run.cycles);
+    let paper = Table1Report::paper_reference();
+    assert!(table.matches(&paper), "\nsimulated:\n{}\npaper:\n{}", table.render(), paper.render());
+}
+
+#[test]
+fn table1_from_the_analytic_two_step_methodology() {
+    let report = TwoStepMapping::analyse(&CfdApplication::paper(), &Platform::paper()).unwrap();
+    let table = Table1Report::from_cycles(&report.step2.cycles);
+    assert!(table.matches(&Table1Report::paper_reference()));
+}
+
+#[test]
+fn section5_evaluation_numbers() {
+    // "a spectrum (256 points) and a DSCF (127 x 127 points) can be
+    // determined within approximately 140 us", "an analysed bandwidth of
+    // approximately 915 kHz", "approximately 8 mm2", "200 mW".
+    let report = TwoStepMapping::analyse(&CfdApplication::paper(), &Platform::paper()).unwrap();
+    assert!((report.step2.time_per_block_us - 139.96).abs() < 1e-9);
+    assert!((report.metrics.analysed_bandwidth_khz - 915.0).abs() < 1.0);
+    assert!((report.metrics.area_mm2 - 8.0).abs() < 1e-12);
+    assert!((report.metrics.power_mw - 200.0).abs() < 1e-9);
+}
+
+#[test]
+fn section5_numbers_also_hold_for_the_full_platform_simulation() {
+    // The same figures measured on the executing 4-tile platform rather
+    // than the analytic model.
+    let mut soc = TiledSoc::paper().unwrap();
+    let run = soc.run(&awgn(256, 1.0, 2), 1).unwrap();
+    assert_eq!(run.max_tile_cycles(), 13_996);
+    let metrics = soc.metrics(&run);
+    assert!((metrics.time_per_block_us - 139.96).abs() < 1e-9);
+    assert!((metrics.analysed_bandwidth_khz - 915.0).abs() < 1.0);
+    assert!((metrics.area_mm2 - 8.0).abs() < 1e-12);
+    assert!((metrics.power_mw - 200.0).abs() < 1e-9);
+}
+
+#[test]
+fn section5_linear_scaling_claim() {
+    // "The analysed bandwidth, chip area and power consumption scale
+    // linearly with the number of Montium processors."
+    let study = EvaluationReport::scaling_study(&CfdApplication::paper(), &[4, 8, 16]).unwrap();
+    let base = &study.rows[0];
+    for row in &study.rows[1..] {
+        let factor = row.cores as f64 / base.cores as f64;
+        // Area and power scale exactly linearly.
+        assert!((row.area_mm2 - base.area_mm2 * factor).abs() < 1e-9);
+        assert!((row.power_mw - base.power_mw * factor).abs() < 1e-9);
+        // Bandwidth scales linearly in the MAC-dominated part; the fixed
+        // FFT/reshuffle overhead makes it slightly sub-linear overall.
+        let ratio = row.analysed_bandwidth_khz / base.analysed_bandwidth_khz;
+        assert!(ratio > 0.6 * factor && ratio <= factor, "ratio {ratio} vs factor {factor}");
+    }
+}

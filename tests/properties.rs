@@ -1,0 +1,141 @@
+//! Property-based tests over the core invariants of the reproduction,
+//! spanning all crates.
+
+use cfd_dsp::complex::Cplx;
+use cfd_dsp::fft::{dft_naive, fft, ifft};
+use cfd_dsp::fixed::Q15;
+use cfd_dsp::scf::{block_spectra, dscf_reference, ScfParams};
+use cfd_dsp::signal::awgn;
+use cfd_mapping::folding::{FoldedArray, Folding};
+use cfd_mapping::systolic::SystolicArray;
+use proptest::prelude::*;
+
+fn arbitrary_signal(len: usize) -> impl Strategy<Value = Vec<Cplx>> {
+    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), len)
+        .prop_map(|pairs| pairs.into_iter().map(|(re, im)| Cplx::new(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The FFT inverts exactly (up to numerical noise) for any signal.
+    #[test]
+    fn fft_ifft_round_trip(signal in arbitrary_signal(64)) {
+        let spectrum = fft(&signal).unwrap();
+        let back = ifft(&spectrum).unwrap();
+        for (a, b) in signal.iter().zip(back.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    /// The FFT agrees with the naive DFT for any signal.
+    #[test]
+    fn fft_matches_dft(signal in arbitrary_signal(32)) {
+        let fast = fft(&signal).unwrap();
+        let slow = dft_naive(&signal);
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    /// Parseval's theorem holds for any signal.
+    #[test]
+    fn fft_preserves_energy(signal in arbitrary_signal(128)) {
+        let time_energy: f64 = signal.iter().map(|x| x.norm_sqr()).sum();
+        let spectrum = fft(&signal).unwrap();
+        let freq_energy: f64 = spectrum.iter().map(|x| x.norm_sqr()).sum::<f64>() / 128.0;
+        prop_assert!((time_energy - freq_energy).abs() <= 1e-8 * time_energy.max(1.0));
+    }
+
+    /// Q15 quantisation never leaves the representable range and never errs
+    /// by more than one LSB for in-range values.
+    #[test]
+    fn q15_is_bounded_and_accurate(value in -2.0f64..2.0) {
+        let q = Q15::from_f64(value);
+        let back = q.to_f64();
+        prop_assert!((-1.0..1.0).contains(&back));
+        if (-1.0..=0.99996).contains(&value) {
+            prop_assert!((back - value).abs() <= 1.0 / 32768.0);
+        }
+    }
+
+    /// Q15 saturating arithmetic stays within range for any operands.
+    #[test]
+    fn q15_arithmetic_is_closed(a in -1.0f64..1.0, b in -1.0f64..1.0) {
+        let qa = Q15::from_f64(a);
+        let qb = Q15::from_f64(b);
+        for result in [qa.saturating_add(qb), qa.saturating_sub(qb), qa.saturating_mul(qb), qa.saturating_neg()] {
+            prop_assert!((-1.0..1.0).contains(&result.to_f64()));
+        }
+    }
+
+    /// The DSCF has conjugate symmetry in the offset: S_f^{-a} = conj(S_f^a).
+    #[test]
+    fn dscf_conjugate_symmetry(seed in 0u64..1000) {
+        let params = ScfParams::new(16, 3, 2).unwrap();
+        let signal = awgn(params.samples_needed(), 1.0, seed);
+        let scf = dscf_reference(&signal, &params).unwrap();
+        for f in -3..=3 {
+            for a in -3..=3 {
+                let lhs = scf.at(f, -a);
+                let rhs = scf.at(f, a).conj();
+                prop_assert!((lhs - rhs).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Eq. 8/9 folding is a partition of the initial task set for any (P, Q).
+    #[test]
+    fn folding_is_always_a_partition(p in 1usize..300, q in 1usize..20) {
+        let folding = Folding::new(p, q).unwrap();
+        prop_assert!(folding.is_partition());
+        prop_assert_eq!(folding.tasks_per_core, p.div_ceil(q));
+        let total: usize = (0..q).map(|c| folding.load_of_core(c)).sum();
+        prop_assert_eq!(total, p);
+        for task in 0..p {
+            prop_assert!(folding.core_of_task(task) < q);
+        }
+    }
+
+    /// The systolic array and the folded array compute exactly the reference
+    /// DSCF for arbitrary signals, grid sizes and core counts.
+    #[test]
+    fn mapped_architectures_match_reference(
+        seed in 0u64..1000,
+        max_offset in 1usize..6,
+        cores in 1usize..5,
+        blocks in 1usize..4,
+    ) {
+        let params = ScfParams::new(16, max_offset, blocks).unwrap();
+        let signal = awgn(params.samples_needed(), 1.0, seed);
+        let reference = dscf_reference(&signal, &params).unwrap();
+        let spectra = block_spectra(&signal, &params).unwrap();
+
+        let mut systolic = SystolicArray::new(max_offset, 16);
+        let (systolic_result, _) = systolic.run(&spectra);
+        prop_assert!(systolic_result.max_abs_difference(&reference) < 1e-9);
+
+        let mut folded = FoldedArray::new(max_offset, 16, cores).unwrap();
+        let (folded_result, _) = folded.run(&spectra);
+        prop_assert!(folded_result.max_abs_difference(&reference) < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The full tiled-SoC simulation matches the reference DSCF for random
+    /// signals and platform sizes (kept at 8 cases: each runs a whole
+    /// platform).
+    #[test]
+    fn tiled_soc_matches_reference(seed in 0u64..100, tiles in 1usize..5) {
+        use tiled_soc::config::SocConfig;
+        use tiled_soc::soc::TiledSoc;
+        let params = ScfParams::new(16, 3, 2).unwrap();
+        let signal = awgn(params.samples_needed(), 1.0, seed);
+        let reference = dscf_reference(&signal, &params).unwrap();
+        let mut soc = TiledSoc::new(SocConfig::paper().with_tiles(tiles), 3, 16).unwrap();
+        let run = soc.run(&signal, 2).unwrap();
+        prop_assert!(run.scf.max_abs_difference(&reference) < 1e-9);
+    }
+}
