@@ -11,7 +11,10 @@ use std::time::Duration;
 
 fn bench_detectors(c: &mut Criterion) {
     let mut group = c.benchmark_group("detectors");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     let params = ScfParams::new(64, 15, 16).unwrap();
     let observation = SignalBuilder::new(params.samples_needed())

@@ -11,7 +11,10 @@ use std::time::Duration;
 
 fn bench_fft(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     for size in [64usize, 256, 1024] {
         let signal = awgn(size, 1.0, size as u64);
         group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
@@ -23,7 +26,10 @@ fn bench_fft(c: &mut Criterion) {
 
 fn bench_dscf(c: &mut Criterion) {
     let mut group = c.benchmark_group("dscf_reference");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     // The cost grows with the square of the grid size; the 127x127 paper
     // grid is included to expose the 16x-over-FFT relation of Section 2.
     for (fft_len, max_offset) in [(64usize, 15usize), (128, 31), (256, 63)] {

@@ -13,7 +13,10 @@ use std::time::Duration;
 
 fn bench_mapping(c: &mut Criterion) {
     let mut group = c.benchmark_group("mapping_engine");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     group.bench_function("dg_conflict_check_31x31x4", |b| {
         let dg = DependenceGraph::new(15, 4);
@@ -33,12 +36,16 @@ fn bench_mapping(c: &mut Criterion) {
     });
 
     for cores in [1usize, 4] {
-        group.bench_with_input(BenchmarkId::new("folded_array_31x31_cores", cores), &cores, |b, &cores| {
-            b.iter(|| {
-                let mut array = FoldedArray::new(15, 64, cores).unwrap();
-                array.run(&spectra)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("folded_array_31x31_cores", cores),
+            &cores,
+            |b, &cores| {
+                b.iter(|| {
+                    let mut array = FoldedArray::new(15, 64, cores).unwrap();
+                    array.run(&spectra)
+                });
+            },
+        );
     }
     group.finish();
 }

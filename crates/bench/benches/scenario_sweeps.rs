@@ -1,0 +1,106 @@
+//! Criterion bench of the scenario engine's hot path: licensed-user signal
+//! generation, channel application, and detector evaluation over a small
+//! SNR sweep. Later PRs optimising the sweep loop (batching, caching block
+//! spectra, parallel trials) are measured against this baseline.
+
+use cfd_dsp::detector::{CyclostationaryDetector, EnergyDetector};
+use cfd_dsp::scf::ScfParams;
+use cfd_scenario::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_signal_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_signal_generation");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let len = 2048;
+    for preset in RadioScenario::preset_names() {
+        let scenario = RadioScenario::preset(preset, len).expect("built-in preset");
+        group.bench_with_input(BenchmarkId::from_parameter(preset), &scenario, |b, s| {
+            let mut trial = 0usize;
+            b.iter(|| {
+                trial = trial.wrapping_add(1);
+                s.observe(Hypothesis::Occupied, trial).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_channel_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_channel");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let len = 2048;
+    let clean = SignalModel::bpsk().generate(len, 1).expect("valid model");
+    let pipelines = [
+        ("awgn", ChannelPipeline::awgn(0.0)),
+        (
+            "full-impairment",
+            ChannelPipeline::new(vec![
+                ChannelStage::TwoRay {
+                    delay_samples: 3,
+                    relative_gain: 0.5,
+                    phase: 2.2,
+                },
+                ChannelStage::CarrierOffset {
+                    normalised: 0.01,
+                    phase: 0.3,
+                },
+                ChannelStage::Awgn {
+                    snr_db: 0.0,
+                    noise_power: 1.0,
+                },
+                ChannelStage::Quantize { full_scale: 4.0 },
+            ]),
+        ),
+    ];
+    for (name, pipeline) in &pipelines {
+        group.bench_with_input(BenchmarkId::from_parameter(name), pipeline, |b, p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                p.apply(clean.clone(), seed).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_sweep_eval");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    let params = ScfParams::new(32, 7, 32).expect("valid params");
+    let len = params.samples_needed();
+    let scenario = RadioScenario::preset("bpsk-awgn", len).expect("built-in preset");
+    let sweep = SnrSweep::new(vec![-4.0, 0.0, 4.0], 4).expect("valid sweep");
+
+    group.bench_function("energy_3snr_4trials", |b| {
+        let mut detectors = vec![SweepDetector::Energy(
+            EnergyDetector::new(1.0, 0.1, len).expect("valid detector"),
+        )];
+        b.iter(|| evaluate_sweep(&scenario, &sweep, &mut detectors).unwrap());
+    });
+    group.bench_function("cfd_3snr_4trials", |b| {
+        let mut detectors = vec![SweepDetector::Cyclostationary(
+            CyclostationaryDetector::new(params.clone(), 0.35, 1).expect("valid detector"),
+        )];
+        b.iter(|| evaluate_sweep(&scenario, &sweep, &mut detectors).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_signal_generation,
+    bench_channel_stages,
+    bench_sweep_evaluation
+);
+criterion_main!(benches);

@@ -11,7 +11,10 @@ use tiled_soc::soc::TiledSoc;
 
 fn bench_soc(c: &mut Criterion) {
     let mut group = c.benchmark_group("soc_end_to_end");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
 
     // One paper-sized integration step (256-point FFT, 127x127 DSCF) on the
     // 4-tile platform.

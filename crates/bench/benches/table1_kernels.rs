@@ -12,7 +12,10 @@ use std::time::Duration;
 
 fn bench_table1_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_kernels");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     let samples = awgn(256, 1.0, 42);
     let task_set = TileTaskSet::paper(0).unwrap();

@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = ScfParams::new(32, 7, 80)?;
     let cfd = CyclostationaryDetector::new(params.clone(), 0.35, 1)?;
 
-    println!("observation: {} samples, BPSK with 4 samples/symbol, 30 trials/point\n", params.samples_needed());
+    println!(
+        "observation: {} samples, BPSK with 4 samples/symbol, 30 trials/point\n",
+        params.samples_needed()
+    );
     println!("                       calibrated noise          1 dB noise uncertainty");
     println!("snr [dB]   CFD Pd  CFD Pfa  ED Pd  ED Pfa   CFD Pd  CFD Pfa  ED Pd  ED Pfa");
     for snr_db in [-4.0, -2.0, 0.0, 2.0, 5.0] {

@@ -13,12 +13,26 @@ use montium_sim::{MontiumConfig, MontiumCore};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Figure 10: overview of a Montium core");
     let config = MontiumConfig::paper();
-    println!("memories            : {} x {} words of 16 bit (M01..M{:02})", config.num_memories, config.words_per_memory, config.num_memories);
-    println!("register files      : {} (RF01..RF{:02}), {} registers each", config.num_register_files, config.num_register_files, config.registers_per_file);
+    println!(
+        "memories            : {} x {} words of 16 bit (M01..M{:02})",
+        config.num_memories, config.words_per_memory, config.num_memories
+    );
+    println!(
+        "register files      : {} (RF01..RF{:02}), {} registers each",
+        config.num_register_files, config.num_register_files, config.registers_per_file
+    );
     println!("ALU                 : complex, 1 complex multiplication per clock cycle");
     println!("clock               : {} MHz", config.clock_mhz);
-    println!("area                : {} mm^2 (0.13 um CMOS12)", config.area_mm2);
-    println!("typical power       : {} uW/MHz ({} mW at {} MHz)", config.power_uw_per_mhz, config.power_mw(), config.clock_mhz);
+    println!(
+        "area                : {} mm^2 (0.13 um CMOS12)",
+        config.area_mm2
+    );
+    println!(
+        "typical power       : {} uW/MHz ({} mW at {} MHz)",
+        config.power_uw_per_mhz,
+        config.power_mw(),
+        config.clock_mhz
+    );
 
     header("Figure 11: CFD mapped onto the Montium core");
     println!("M01-M08 : T*F = 4064 complex accumulation values (integration over n)");
@@ -38,7 +52,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let run = run_integration_step(&mut tile, &task_set, &awgn(256, 1.0, 5))?;
     println!("{}", tile.sequencer().render_table());
     println!("ALU statistics: {:?}", tile.alu_stats());
-    println!("memory accesses: {} reads, {} writes", tile.memories().total_reads(), tile.memories().total_writes());
-    println!("elapsed: {:.2} us", tile.config().cycles_to_us(run.cycles.total()));
+    println!(
+        "memory accesses: {} reads, {} writes",
+        tile.memories().total_reads(),
+        tile.memories().total_writes()
+    );
+    println!(
+        "elapsed: {:.2} us",
+        tile.config().cycles_to_us(run.cycles.total())
+    );
     Ok(())
 }

@@ -12,12 +12,26 @@ fn main() {
     header("Figure 2: dependence graph of the DSCF (expression 3)");
     for (label, dg) in [
         ("illustration (M = 3, N = 4)", DependenceGraph::new(3, 4)),
-        ("paper evaluation (M = 63, N = 8)", DependenceGraph::paper(8)),
+        (
+            "paper evaluation (M = 63, N = 8)",
+            DependenceGraph::paper(8),
+        ),
     ] {
         println!("\n{label}:");
-        println!("  grid: {} x {} (f, a), {} integration planes", dg.grid_size(), dg.grid_size(), dg.num_blocks());
-        println!("  nodes (complex multiply-accumulates): {}", dg.node_count());
-        println!("  accumulation edges (displacement (0,0,1)): {}", dg.edge_count());
+        println!(
+            "  grid: {} x {} (f, a), {} integration planes",
+            dg.grid_size(),
+            dg.grid_size(),
+            dg.num_blocks()
+        );
+        println!(
+            "  nodes (complex multiply-accumulates): {}",
+            dg.node_count()
+        );
+        println!(
+            "  accumulation edges (displacement (0,0,1)): {}",
+            dg.edge_count()
+        );
         let mapping = SpaceTimeMapping::paper_step1();
         println!(
             "  P1/s1 mapping conflict-free: {}, processors after n-fold: {}, makespan: {}",

@@ -15,11 +15,17 @@ fn main() {
     print!("{}", diagram.render());
     println!("trajectory of X*_(n,3): (processor, delay) pairs");
     for entry in diagram.trajectory(3) {
-        println!("  processor {:>3}, delta-t {:>2}", entry.processor, entry.delay);
+        println!(
+            "  processor {:>3}, delta-t {:>2}",
+            entry.processor, entry.delay
+        );
     }
 
     println!("\nThe transformation that produces it (eq. 6):");
-    for (name, matrix) in [("P2a1 (dotted lines)", paper::p2a1()), ("P2a2 (solid lines)", paper::p2a2())] {
+    for (name, matrix) in [
+        ("P2a1 (dotted lines)", paper::p2a1()),
+        ("P2a2 (solid lines)", paper::p2a2()),
+    ] {
         let mapped = matrix.apply_transposed(&IVec::of2(4, 1)).unwrap();
         println!("  {name}: node (f=4, a=1) -> (delta-t, processor) = {mapped}");
     }
@@ -34,7 +40,12 @@ fn main() {
     let direct = SpaceTimeDiagram::new(Flow::Direct, 63, 0..4);
     println!(
         "direct flow runs in the opposite direction: first use at processor {}, last at {}",
-        direct.trajectory(0).iter().find(|e| e.delay == 0).unwrap().processor,
+        direct
+            .trajectory(0)
+            .iter()
+            .find(|e| e.delay == 0)
+            .unwrap()
+            .processor,
         direct
             .trajectory(0)
             .iter()

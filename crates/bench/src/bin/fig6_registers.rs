@@ -13,7 +13,10 @@ fn main() {
     for max_offset in [3usize, 63] {
         let diagram = SpaceTimeDiagram::new(Flow::Conjugate, max_offset, 0..1);
         let architecture = SystolicArray::new(max_offset, 4 * max_offset.max(4)).architecture();
-        println!("\nM = {max_offset} ({} processors):", architecture.num_processors);
+        println!(
+            "\nM = {max_offset} ({} processors):",
+            architecture.num_processors
+        );
         println!(
             "  registers in the conjugate chain: {} (one per processor boundary)",
             architecture.conjugate_registers

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
         let schedule = SwitchSchedule::new(folding.tasks_per_core.min(8));
-        println!("  switch tap sequence per frequency step (first {} taps): {:?}", schedule.slots_per_shift(), schedule.sequence());
+        println!(
+            "  switch tap sequence per frequency step (first {} taps): {:?}",
+            schedule.slots_per_shift(),
+            schedule.sequence()
+        );
         let memory = MemoryRequirement::new(&folding, p, 16);
         let shift = ShiftRegisterRequirement::new(&folding);
         println!(

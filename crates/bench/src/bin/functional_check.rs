@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    for (label, mode) in [("lockstep", ExecutionMode::Lockstep), ("threaded", ExecutionMode::Threaded)] {
+    for (label, mode) in [
+        ("lockstep", ExecutionMode::Lockstep),
+        ("threaded", ExecutionMode::Threaded),
+    ] {
         let mut soc = TiledSoc::new(
             SocConfig::paper().with_mode(mode),
             params.max_offset,

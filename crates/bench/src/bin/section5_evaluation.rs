@@ -13,21 +13,51 @@ use tiled_soc::soc::TiledSoc;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Section 5: evaluation of the 4-Montium platform (analytic)");
     let report = TwoStepMapping::analyse(&CfdApplication::paper(), &Platform::paper())?;
-    println!("time per integration step : {:.2} us   (paper: ~140 us)", report.step2.time_per_block_us);
-    println!("analysed bandwidth        : {:.0} kHz  (paper: ~915 kHz)", report.metrics.analysed_bandwidth_khz);
-    println!("chip area                 : {:.0} mm^2 (paper: ~8 mm^2)", report.metrics.area_mm2);
-    println!("power at 100 MHz          : {:.0} mW   (paper: 200 mW)", report.metrics.power_mw);
-    println!("energy per block          : {:.1} uJ", report.metrics.energy_per_block_uj());
+    println!(
+        "time per integration step : {:.2} us   (paper: ~140 us)",
+        report.step2.time_per_block_us
+    );
+    println!(
+        "analysed bandwidth        : {:.0} kHz  (paper: ~915 kHz)",
+        report.metrics.analysed_bandwidth_khz
+    );
+    println!(
+        "chip area                 : {:.0} mm^2 (paper: ~8 mm^2)",
+        report.metrics.area_mm2
+    );
+    println!(
+        "power at 100 MHz          : {:.0} mW   (paper: 200 mW)",
+        report.metrics.power_mw
+    );
+    println!(
+        "energy per block          : {:.1} uJ",
+        report.metrics.energy_per_block_uj()
+    );
 
     header("Section 5 cross-check on the executing platform simulation");
     let mut soc = TiledSoc::paper()?;
     let run = soc.run(&awgn(256, 1.0, 3), 1)?;
     let metrics = soc.metrics(&run);
-    println!("critical-tile cycles      : {}   (Table 1 total: 13996)", run.max_tile_cycles());
-    println!("time per integration step : {:.2} us", metrics.time_per_block_us);
-    println!("analysed bandwidth        : {:.0} kHz", metrics.analysed_bandwidth_khz);
+    println!(
+        "critical-tile cycles      : {}   (Table 1 total: 13996)",
+        run.max_tile_cycles()
+    );
+    println!(
+        "time per integration step : {:.2} us",
+        metrics.time_per_block_us
+    );
+    println!(
+        "analysed bandwidth        : {:.0} kHz",
+        metrics.analysed_bandwidth_khz
+    );
     println!("inter-tile transfers      : {}", run.inter_tile_transfers);
-    println!("per-tile cycle totals     : {:?}", run.per_tile_cycles.iter().map(|t| t.total()).collect::<Vec<_>>());
+    println!(
+        "per-tile cycle totals     : {:?}",
+        run.per_tile_cycles
+            .iter()
+            .map(|t| t.total())
+            .collect::<Vec<_>>()
+    );
 
     header("Scalability: platform configurations (the paper's linear-scaling claim)");
     let study = EvaluationReport::scaling_study(&CfdApplication::paper(), &[1, 2, 4, 8, 16, 32])?;

@@ -24,11 +24,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let simulated = Table1Report::from_cycles(&run.cycles);
     let paper = Table1Report::paper_reference();
 
-    println!("simulated (cycle-level Montium tile model):\n{}", simulated.render());
+    println!(
+        "simulated (cycle-level Montium tile model):\n{}",
+        simulated.render()
+    );
     println!("paper (Table 1):\n{}", paper.render());
     println!(
         "match: {}",
-        if simulated.matches(&paper) { "EXACT" } else { "MISMATCH" }
+        if simulated.matches(&paper) {
+            "EXACT"
+        } else {
+            "MISMATCH"
+        }
     );
     println!(
         "time per integration step at 100 MHz: {:.2} us (paper: 139.96 us)",

@@ -62,7 +62,10 @@ mod tests {
     #[test]
     fn helpers_produce_right_lengths() {
         let params = ScfParams::new(32, 7, 3).unwrap();
-        assert_eq!(licensed_user(&params, 0.0, 1).len(), params.samples_needed());
+        assert_eq!(
+            licensed_user(&params, 0.0, 1).len(),
+            params.samples_needed()
+        );
         assert_eq!(empty_band(&params, 1).len(), params.samples_needed());
         header("smoke");
     }

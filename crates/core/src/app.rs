@@ -92,7 +92,11 @@ impl CfdApplication {
     /// Never fails for an application built through [`CfdApplication::new`];
     /// the `Result` mirrors [`ScfParams::new`].
     pub fn scf_params(&self) -> Result<ScfParams, CfdError> {
-        Ok(ScfParams::new(self.fft_len, self.max_offset, self.num_blocks)?)
+        Ok(ScfParams::new(
+            self.fft_len,
+            self.max_offset,
+            self.num_blocks,
+        )?)
     }
 }
 

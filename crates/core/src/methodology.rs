@@ -96,8 +96,11 @@ impl TwoStepMapping {
 
         // Step 1: structural derivation.
         let dg = DependenceGraph::new(application.max_offset, application.num_blocks);
-        let conflict_free = SpaceTimeMapping::paper_step1().check_conflict_free(&dg).is_ok();
-        let systolic = SystolicArray::new(application.max_offset, application.fft_len).architecture();
+        let conflict_free = SpaceTimeMapping::paper_step1()
+            .check_conflict_free(&dg)
+            .is_ok();
+        let systolic =
+            SystolicArray::new(application.max_offset, application.fft_len).architecture();
         let accumulator_memory = MemoryRequirement::new(&folding, f, 16);
         let shift_registers = ShiftRegisterRequirement::new(&folding);
         let step1 = Step1Report {
@@ -132,11 +135,8 @@ impl TwoStepMapping {
             shift_registers_fit,
         };
 
-        let metrics = PlatformMetrics::new(
-            &platform.soc_config(),
-            cycles.total(),
-            application.fft_len,
-        );
+        let metrics =
+            PlatformMetrics::new(&platform.soc_config(), cycles.total(), application.fft_len);
 
         Ok(MappingReport {
             application: application.clone(),
@@ -154,8 +154,7 @@ mod tests {
 
     #[test]
     fn paper_mapping_report_matches_the_published_numbers() {
-        let report =
-            TwoStepMapping::analyse(&CfdApplication::paper(), &Platform::paper()).unwrap();
+        let report = TwoStepMapping::analyse(&CfdApplication::paper(), &Platform::paper()).unwrap();
         // Step 1.
         assert_eq!(report.step1.initial_processors, 127);
         assert_eq!(report.step1.tasks_per_core, 32);
@@ -187,8 +186,7 @@ mod tests {
         use montium_sim::kernels::{configure_tile, run_integration_step, TileTaskSet};
         use montium_sim::MontiumCore;
 
-        let report =
-            TwoStepMapping::analyse(&CfdApplication::paper(), &Platform::paper()).unwrap();
+        let report = TwoStepMapping::analyse(&CfdApplication::paper(), &Platform::paper()).unwrap();
         let mut tile = MontiumCore::paper();
         let task_set = TileTaskSet::paper(0).unwrap();
         configure_tile(&mut tile, &task_set).unwrap();
@@ -205,9 +203,11 @@ mod tests {
         assert!(!report.step2.accumulators_fit);
         assert_eq!(report.step1.tasks_per_core, 127);
         // Two cores still do not fit; four do.
-        let two = TwoStepMapping::analyse(&CfdApplication::paper(), &Platform::with_cores(2)).unwrap();
+        let two =
+            TwoStepMapping::analyse(&CfdApplication::paper(), &Platform::with_cores(2)).unwrap();
         assert!(!two.step2.accumulators_fit);
-        let four = TwoStepMapping::analyse(&CfdApplication::paper(), &Platform::with_cores(4)).unwrap();
+        let four =
+            TwoStepMapping::analyse(&CfdApplication::paper(), &Platform::with_cores(4)).unwrap();
         assert!(four.step2.accumulators_fit);
     }
 

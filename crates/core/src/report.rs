@@ -203,8 +203,7 @@ mod tests {
 
     #[test]
     fn table1_report_matches_the_paper_exactly() {
-        let report =
-            TwoStepMapping::analyse(&CfdApplication::paper(), &Platform::paper()).unwrap();
+        let report = TwoStepMapping::analyse(&CfdApplication::paper(), &Platform::paper()).unwrap();
         let table = Table1Report::from_cycles(&report.step2.cycles);
         assert!(table.matches(&Table1Report::paper_reference()));
         let text = table.render();

@@ -106,6 +106,21 @@ impl SpectrumSensor {
         self.application.samples_needed()
     }
 
+    /// Scenario-driven entry point: takes one decision on the simulated
+    /// platform and returns only the detector outcome, skipping the
+    /// report assembly of [`SpectrumSensor::sense`]. This is the hot path
+    /// for Monte-Carlo sweeps (`cfd-scenario`) that need thousands of
+    /// decisions and no per-decision metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors (e.g. too few samples).
+    pub fn decide(&mut self, samples: &[Cplx]) -> Result<DetectionOutcome, CfdError> {
+        self.soc.reset();
+        let run = self.soc.run(samples, self.application.num_blocks)?;
+        Ok(self.detector.detect_from_scf(&run.scf))
+    }
+
     /// Takes one sensing decision over `samples`
     /// (`samples_per_decision()` samples are consumed).
     ///
@@ -183,8 +198,16 @@ mod tests {
         let idle = observation(false, 0.0, n, 4);
         let busy_report = sensor.sense(&busy).unwrap();
         let idle_report = sensor.sense(&idle).unwrap();
-        assert!(busy_report.occupied(), "statistic {}", busy_report.outcome.statistic);
-        assert!(!idle_report.occupied(), "statistic {}", idle_report.outcome.statistic);
+        assert!(
+            busy_report.occupied(),
+            "statistic {}",
+            busy_report.outcome.statistic
+        );
+        assert!(
+            !idle_report.occupied(),
+            "statistic {}",
+            idle_report.outcome.statistic
+        );
         assert!(busy_report.outcome.statistic > idle_report.outcome.statistic);
         assert!(busy_report.latency_us > 0.0);
         assert_eq!(busy_report.per_tile_cycles.len(), 4);
@@ -199,12 +222,9 @@ mod tests {
         let n = sensor.samples_per_decision();
         let samples = observation(true, 3.0, n, 7);
         let report = sensor.sense(&samples).unwrap();
-        let golden = CyclostationaryDetector::new(
-            sensor.application().scf_params().unwrap(),
-            0.35,
-            1,
-        )
-        .unwrap();
+        let golden =
+            CyclostationaryDetector::new(sensor.application().scf_params().unwrap(), 0.35, 1)
+                .unwrap();
         let golden_statistic = golden.statistic(&samples).unwrap();
         assert!(
             (report.outcome.statistic - golden_statistic).abs() < 1e-9,
@@ -224,7 +244,10 @@ mod tests {
             .collect();
         let energy = energy_detector_baseline(&idle, 1.0, 0.05).unwrap();
         let cfd = sensor.sense(&idle).unwrap();
-        assert!(energy.decision.is_signal(), "energy detector should false-alarm");
+        assert!(
+            energy.decision.is_signal(),
+            "energy detector should false-alarm"
+        );
         assert!(!cfd.occupied(), "CFD should not false-alarm");
     }
 

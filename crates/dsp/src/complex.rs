@@ -210,6 +210,7 @@ impl Div<f64> for Cplx {
 impl Div for Cplx {
     type Output = Cplx;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division as multiply-by-reciprocal
     fn div(self, rhs: Cplx) -> Cplx {
         self * rhs.recip()
     }
@@ -269,6 +270,10 @@ pub struct CplxQ15 {
     pub im: Q15,
 }
 
+// Named methods instead of operator traits: every call site is an explicit
+// fixed-point operation with saturation semantics, which the DSP code keeps
+// visually distinct from f64 arithmetic.
+#[allow(clippy::should_implement_trait)]
 impl CplxQ15 {
     /// The additive identity.
     pub const ZERO: CplxQ15 = CplxQ15 {
@@ -303,13 +308,19 @@ impl CplxQ15 {
     /// Saturating addition.
     #[inline]
     pub fn add(self, rhs: Self) -> Self {
-        CplxQ15::new(self.re.saturating_add(rhs.re), self.im.saturating_add(rhs.im))
+        CplxQ15::new(
+            self.re.saturating_add(rhs.re),
+            self.im.saturating_add(rhs.im),
+        )
     }
 
     /// Saturating subtraction.
     #[inline]
     pub fn sub(self, rhs: Self) -> Self {
-        CplxQ15::new(self.re.saturating_sub(rhs.re), self.im.saturating_sub(rhs.im))
+        CplxQ15::new(
+            self.re.saturating_sub(rhs.re),
+            self.im.saturating_sub(rhs.im),
+        )
     }
 
     /// Saturating complex multiplication.

@@ -426,8 +426,16 @@ mod tests {
         let idle = idle_observation(params.samples_needed(), 4);
         let busy_out = d.detect(&busy).unwrap();
         let idle_out = d.detect(&idle).unwrap();
-        assert!(busy_out.decision.is_signal(), "statistic {}", busy_out.statistic);
-        assert!(!idle_out.decision.is_signal(), "statistic {}", idle_out.statistic);
+        assert!(
+            busy_out.decision.is_signal(),
+            "statistic {}",
+            busy_out.statistic
+        );
+        assert!(
+            !idle_out.decision.is_signal(),
+            "statistic {}",
+            idle_out.statistic
+        );
         assert!(busy_out.statistic > idle_out.statistic);
     }
 

@@ -210,7 +210,7 @@ pub fn block_spectrum(
     // Phase rotation from the absolute-time exponent of eq. 2.
     for (v, value) in block.iter_mut().enumerate() {
         let phase = -2.0 * PI * (start as f64) * (v as f64) / block_len as f64;
-        *value = *value * Cplx::cis(phase);
+        *value *= Cplx::cis(phase);
     }
     Ok(block)
 }
@@ -339,7 +339,7 @@ mod tests {
             fft_in_place(&mut data),
             Err(DspError::NotPowerOfTwo { length: 12 })
         ));
-        assert!(ifft(&vec![Cplx::ZERO; 3]).is_err());
+        assert!(ifft(&[Cplx::ZERO; 3]).is_err());
     }
 
     #[test]

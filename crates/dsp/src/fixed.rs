@@ -31,8 +31,19 @@ pub const Q15_SCALE: f64 = 32768.0;
 /// let p = half.saturating_mul(quarter);
 /// assert!((p.to_f64() - 0.125).abs() < 1e-4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-         serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct Q15(i16);
 
 impl Q15 {
@@ -138,8 +149,11 @@ impl Q15 {
     }
 
     /// Arithmetic shift right by `bits` (divide by `2^bits`), used for
-    /// block-floating-point style scaling inside FFT stages.
+    /// block-floating-point style scaling inside FFT stages. A named method
+    /// rather than `ops::Shr` so call sites read as an explicit datapath
+    /// operation.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn shr(self, bits: u32) -> Self {
         Q15(self.0 >> bits.min(15))
     }

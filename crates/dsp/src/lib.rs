@@ -30,6 +30,7 @@
 //!     .modulation(SymbolModulation::Bpsk)
 //!     .samples_per_symbol(4)
 //!     .snr_db(0.0)
+//!     .seed(8)
 //!     .build()?;
 //!
 //! // Evaluate the DSCF (eq. 3) and look for cyclic features.
@@ -66,8 +67,8 @@ pub mod prelude {
     pub use crate::metrics::{OperatingPoint, RocCurve, Scenario};
     pub use crate::scf::{dscf_from_spectra, dscf_reference, ScfMatrix, ScfParams};
     pub use crate::signal::{
-        awgn, complex_tone, modulated_signal, ModulatedSignalSpec, Observation, SignalBuilder,
-        SymbolModulation,
+        awgn, complex_tone, frequency_shift, modulated_signal, ModulatedSignalSpec, Observation,
+        SignalBuilder, SymbolModulation,
     };
     pub use crate::window::Window;
 }

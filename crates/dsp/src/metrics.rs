@@ -188,7 +188,8 @@ pub fn roc_from_statistics(h0: &[f64], h1: &[f64], num_points: usize) -> RocCurv
     let points = (0..num_points)
         .map(|i| {
             // Sweep slightly beyond both ends so the curve reaches (0,0) and (1,1).
-            let threshold = min - 0.01 * span + span * 1.02 * i as f64 / (num_points - 1).max(1) as f64;
+            let threshold =
+                min - 0.01 * span + span * 1.02 * i as f64 / (num_points - 1).max(1) as f64;
             OperatingPoint {
                 false_alarm: fraction_above(h0, threshold),
                 detection: fraction_above(h1, threshold),
@@ -294,8 +295,16 @@ mod tests {
         let e_point = scenario.evaluate(&energy).unwrap();
         let c_point = scenario.evaluate(&cfd).unwrap();
         // Energy detector false-alarms massively under noise uncertainty.
-        assert!(e_point.false_alarm > 0.5, "energy Pfa = {}", e_point.false_alarm);
-        assert!(c_point.false_alarm < 0.3, "cfd Pfa = {}", c_point.false_alarm);
+        assert!(
+            e_point.false_alarm > 0.5,
+            "energy Pfa = {}",
+            e_point.false_alarm
+        );
+        assert!(
+            c_point.false_alarm < 0.3,
+            "cfd Pfa = {}",
+            c_point.false_alarm
+        );
         assert!(c_point.detection > 0.7, "cfd Pd = {}", c_point.detection);
     }
 

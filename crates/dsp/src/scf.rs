@@ -286,11 +286,7 @@ impl ScfMatrix {
     pub fn cyclic_profile(&self) -> Vec<f64> {
         let m = self.max_offset as i32;
         (-m..=m)
-            .map(|a| {
-                (-m..=m)
-                    .map(|f| self.at(f, a).abs())
-                    .fold(0.0, f64::max)
-            })
+            .map(|a| (-m..=m).map(|f| self.at(f, a).abs()).fold(0.0, f64::max))
             .collect()
     }
 
@@ -333,7 +329,14 @@ pub fn block_spectra(signal: &[Cplx], params: &ScfParams) -> Result<Vec<Vec<Cplx
         });
     }
     (0..params.num_blocks)
-        .map(|n| block_spectrum(signal, n * params.block_stride, params.fft_len, params.window))
+        .map(|n| {
+            block_spectrum(
+                signal,
+                n * params.block_stride,
+                params.fft_len,
+                params.window,
+            )
+        })
         .collect()
 }
 
@@ -530,7 +533,7 @@ mod tests {
             samples_per_symbol: 4,
             ..Default::default()
         };
-        let signal = modulated_signal(params.samples_needed(), &spec, 5).unwrap();
+        let signal = modulated_signal(params.samples_needed(), &spec, 9).unwrap();
         let scf = dscf_reference(&signal, &params).unwrap();
         let profile = scf.cyclic_profile();
         let at = |a: i32| profile[(a + 7) as usize];

@@ -152,7 +152,8 @@ pub fn modulated_signal(
     Ok((0..len)
         .map(|t| {
             let symbol = symbols[t / spec.samples_per_symbol];
-            let carrier = Cplx::cis(2.0 * PI * spec.carrier_frequency * t as f64 / spec.sample_rate);
+            let carrier =
+                Cplx::cis(2.0 * PI * spec.carrier_frequency * t as f64 / spec.sample_rate);
             symbol * carrier * spec.amplitude
         })
         .collect())
@@ -187,6 +188,17 @@ impl Distribution<Cplx> for GaussianPair {
             self.std_dev * radius * angle.sin(),
         )
     }
+}
+
+/// Mixes `signal` with a complex exponential: `y[t] = x[t]·exp(j·(2π·f·t + φ))`
+/// with `f` in cycles/sample. Models a carrier/local-oscillator frequency
+/// offset between transmitter and receiver.
+pub fn frequency_shift(signal: &[Cplx], normalised_frequency: f64, phase: f64) -> Vec<Cplx> {
+    signal
+        .iter()
+        .enumerate()
+        .map(|(t, &x)| x * Cplx::cis(2.0 * PI * normalised_frequency * t as f64 + phase))
+        .collect()
 }
 
 /// Average power (mean squared magnitude) of a signal.
@@ -328,7 +340,11 @@ impl SignalBuilder {
                 message: format!("must be non-negative and finite, got {}", self.noise_power),
             });
         }
-        let noise = awgn(self.len, self.noise_power, self.seed.wrapping_add(0x9E37_79B9));
+        let noise = awgn(
+            self.len,
+            self.noise_power,
+            self.seed.wrapping_add(0x9E37_79B9),
+        );
         if !self.signal_present {
             return Ok(Observation {
                 samples: noise,
@@ -476,7 +492,11 @@ mod tests {
 
     #[test]
     fn builder_noise_only_has_no_signal() {
-        let obs = SignalBuilder::new(8192).noise_only().seed(4).build().unwrap();
+        let obs = SignalBuilder::new(8192)
+            .noise_only()
+            .seed(4)
+            .build()
+            .unwrap();
         assert!(!obs.signal_present);
         assert!(obs.snr_db.is_none());
         let p = signal_power(&obs.samples);
@@ -486,7 +506,13 @@ mod tests {
     #[test]
     fn builder_rejects_invalid_inputs() {
         assert!(SignalBuilder::new(16).noise_power(-1.0).build().is_err());
-        assert!(SignalBuilder::new(16).snr_db(f64::INFINITY).build().is_err());
-        assert!(SignalBuilder::new(16).samples_per_symbol(0).build().is_err());
+        assert!(SignalBuilder::new(16)
+            .snr_db(f64::INFINITY)
+            .build()
+            .is_err());
+        assert!(SignalBuilder::new(16)
+            .samples_per_symbol(0)
+            .build()
+            .is_err());
     }
 }

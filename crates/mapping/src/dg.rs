@@ -204,7 +204,8 @@ pub fn fig1_structure(f_range: std::ops::RangeInclusive<i32>, max_a: i32) -> Vec
 /// the fan-out that the shared communication structure of Section 3.2
 /// exploits (all uses of `X*_v` lie on one dotted line).
 pub fn operand_fanout(entries: &[Fig1Entry]) -> std::collections::BTreeMap<i32, (usize, usize)> {
-    let mut map: std::collections::BTreeMap<i32, (usize, usize)> = std::collections::BTreeMap::new();
+    let mut map: std::collections::BTreeMap<i32, (usize, usize)> =
+        std::collections::BTreeMap::new();
     for e in entries {
         map.entry(e.direct_index).or_default().0 += 1;
         map.entry(e.conjugate_index).or_default().1 += 1;

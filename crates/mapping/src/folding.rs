@@ -92,7 +92,10 @@ impl Folding {
     /// The largest per-core load (= `T` unless `Q·T` overshoots `P` by a
     /// whole core's worth).
     pub fn max_load(&self) -> usize {
-        (0..self.cores).map(|q| self.load_of_core(q)).max().unwrap_or(0)
+        (0..self.cores)
+            .map(|q| self.load_of_core(q))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Checks that the assignment is a partition: every task is executed by
@@ -530,8 +533,8 @@ mod tests {
         let mut array = FoldedArray::new(params.max_offset, params.fft_len, 2).unwrap();
         // Feed the two blocks one at a time; the final result must equal the
         // reference over both blocks.
-        let (_, _) = array.run(&spectra[0..1].to_vec());
-        let (result, _) = array.run(&spectra[1..2].to_vec());
+        let (_, _) = array.run(&spectra[0..1]);
+        let (result, _) = array.run(&spectra[1..2]);
         assert!(result.max_abs_difference(&reference) < 1e-9);
         array.reset();
         let empty = array.result();

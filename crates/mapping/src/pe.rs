@@ -160,9 +160,9 @@ mod tests {
         pe.step(Cplx::new(1.0, 1.0), Cplx::new(1.0, -1.0));
         pe.step(Cplx::new(2.0, 0.0), Cplx::new(0.0, 1.0));
         assert_eq!(pe.steps(), 2);
-        let expected =
-            (Cplx::new(1.0, 1.0) * Cplx::new(1.0, 1.0) + Cplx::new(2.0, 0.0) * Cplx::new(0.0, -1.0))
-                / 2.0;
+        let expected = (Cplx::new(1.0, 1.0) * Cplx::new(1.0, 1.0)
+            + Cplx::new(2.0, 0.0) * Cplx::new(0.0, -1.0))
+            / 2.0;
         assert!((pe.result() - expected).abs() < 1e-12);
         pe.reset();
         assert_eq!(pe.steps(), 0);

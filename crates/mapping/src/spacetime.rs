@@ -72,7 +72,11 @@ pub struct SpaceTimeDiagram {
 impl SpaceTimeDiagram {
     /// Builds the diagram for `flow` on an array with processors
     /// `-M ..= M`, following the spectral values `value_indices`.
-    pub fn new(flow: Flow, max_offset: usize, value_indices: impl IntoIterator<Item = i32>) -> Self {
+    pub fn new(
+        flow: Flow,
+        max_offset: usize,
+        value_indices: impl IntoIterator<Item = i32>,
+    ) -> Self {
         let m = max_offset as i32;
         let mut entries = Vec::new();
         for v in value_indices {

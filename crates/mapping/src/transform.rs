@@ -239,11 +239,9 @@ mod tests {
         // the paper avoids this by applying it after the n-fold. Here we
         // verify the conflict detection machinery by constructing a mapping
         // on 3-D nodes that ignores n entirely.
-        let ignore_n = SpaceTimeMapping::new(
-            IMat::from_rows(3, 1, vec![0, 1, 0]),
-            IVec::of3(1, 0, 0),
-        )
-        .unwrap();
+        let ignore_n =
+            SpaceTimeMapping::new(IMat::from_rows(3, 1, vec![0, 1, 0]), IVec::of3(1, 0, 0))
+                .unwrap();
         let single_plane = DependenceGraph::new(2, 1);
         ignore_n.check_conflict_free(&single_plane).unwrap();
         let two_planes = DependenceGraph::new(2, 2);

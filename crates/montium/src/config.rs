@@ -109,7 +109,10 @@ impl MontiumConfig {
     /// reported by Heysters [3]; other sizes scale with the radix-2
     /// butterfly count `(K/2)·log2(K)` plus the same relative overhead.
     pub fn fft_cycles(&self, fft_len: usize) -> u64 {
-        assert!(fft_len.is_power_of_two() && fft_len >= 2, "FFT length must be a power of two");
+        assert!(
+            fft_len.is_power_of_two() && fft_len >= 2,
+            "FFT length must be a power of two"
+        );
         let butterflies = |k: usize| -> f64 { (k / 2 * k.trailing_zeros() as usize) as f64 };
         let scale = self.fft256_cycles as f64 / butterflies(256);
         (butterflies(fft_len) * scale).round() as u64

@@ -174,7 +174,10 @@ impl MontiumCore {
         if !problems.is_empty() {
             return Err(MontiumError::InvalidKernel {
                 kernel: "cfd",
-                message: format!("interconnect configuration invalid: {}", problems.join("; ")),
+                message: format!(
+                    "interconnect configuration invalid: {}",
+                    problems.join("; ")
+                ),
             });
         }
         self.cfd = Some(CfdState {
@@ -226,8 +229,11 @@ impl MontiumCore {
                 for start in (0..n).step_by(len) {
                     for offset in 0..len / 2 {
                         let w = Cplx::cis(step * offset as f64);
-                        let (top, bottom) =
-                            self.alu.butterfly(data[start + offset], data[start + offset + len / 2], w);
+                        let (top, bottom) = self.alu.butterfly(
+                            data[start + offset],
+                            data[start + offset + len / 2],
+                            w,
+                        );
                         data[start + offset] = top;
                         data[start + offset + len / 2] = bottom;
                     }
@@ -244,9 +250,7 @@ impl MontiumCore {
                 *v = (*v * scale).to_q15().to_cplx();
             }
         }
-        let run = self
-            .sequencer
-            .record(Phase::Fft, self.config.fft_cycles(n));
+        let run = self.sequencer.record(Phase::Fft, self.config.fft_cycles(n));
         Ok((data, run))
     }
 
@@ -383,7 +387,9 @@ impl MontiumCore {
             let value = self.memories.bank(conj_bank)?.read(j - 1)?;
             self.memories.bank(conj_bank)?.write(j, value)?;
         }
-        self.memories.bank(conj_bank)?.write(0, incoming_conjugate)?;
+        self.memories
+            .bank(conj_bank)?
+            .write(0, incoming_conjugate)?;
         // Direct flow moves towards lower task indices.
         for j in 0..t - 1 {
             let value = self.memories.bank(direct_bank)?.read(j + 1)?;
@@ -583,7 +589,8 @@ mod tests {
         tile.configure_cfd(2, 2, 3).unwrap();
         let conj_window = vec![Cplx::new(1.0, 1.0), Cplx::new(0.5, 0.0)];
         let direct_window = vec![Cplx::new(0.0, 1.0), Cplx::new(2.0, 0.0)];
-        tile.load_shift_registers(&conj_window, &direct_window).unwrap();
+        tile.load_shift_registers(&conj_window, &direct_window)
+            .unwrap();
         tile.mac_frequency_step(0).unwrap();
         tile.finish_block().unwrap();
         // task 0, step 0: direct * stored conjugated value = (0+1j)(1+1j) = -1+1j
@@ -604,13 +611,22 @@ mod tests {
     fn shift_in_moves_flows_in_opposite_directions() {
         let mut tile = MontiumCore::paper();
         tile.configure_cfd(3, 3, 4).unwrap();
-        let conj = vec![Cplx::new(1.0, 0.0), Cplx::new(2.0, 0.0), Cplx::new(3.0, 0.0)];
-        let direct = vec![Cplx::new(10.0, 0.0), Cplx::new(20.0, 0.0), Cplx::new(30.0, 0.0)];
+        let conj = vec![
+            Cplx::new(1.0, 0.0),
+            Cplx::new(2.0, 0.0),
+            Cplx::new(3.0, 0.0),
+        ];
+        let direct = vec![
+            Cplx::new(10.0, 0.0),
+            Cplx::new(20.0, 0.0),
+            Cplx::new(30.0, 0.0),
+        ];
         tile.load_shift_registers(&conj, &direct).unwrap();
         let (conj_out, direct_out) = tile.edge_outputs().unwrap();
         assert_eq!(conj_out, Cplx::new(3.0, 0.0)); // last conjugate entry
         assert_eq!(direct_out, Cplx::new(10.0, 0.0)); // first direct entry
-        tile.shift_in(Cplx::new(0.5, 0.0), Cplx::new(40.0, 0.0)).unwrap();
+        tile.shift_in(Cplx::new(0.5, 0.0), Cplx::new(40.0, 0.0))
+            .unwrap();
         // Conjugate flow: [0.5, 1, 2]; direct flow: [20, 30, 40].
         let (conj_out2, direct_out2) = tile.edge_outputs().unwrap();
         assert_eq!(conj_out2, Cplx::new(2.0, 0.0));
@@ -622,7 +638,8 @@ mod tests {
         let mut tile = MontiumCore::paper();
         tile.configure_cfd(1, 1, 1).unwrap();
         for _ in 0..4 {
-            tile.load_shift_registers(&[Cplx::ONE], &[Cplx::ONE]).unwrap();
+            tile.load_shift_registers(&[Cplx::ONE], &[Cplx::ONE])
+                .unwrap();
             tile.mac_frequency_step(0).unwrap();
             tile.finish_block().unwrap();
         }

@@ -92,10 +92,15 @@ mod tests {
             capacity: 512,
         };
         assert!(e.to_string().contains("M03"));
-        assert!(MontiumError::NoSuchBank { bank: 11 }.to_string().contains("M11"));
-        assert!(MontiumError::NoSuchRegister { file: 2, register: 9 }
+        assert!(MontiumError::NoSuchBank { bank: 11 }
             .to_string()
-            .contains("RF02"));
+            .contains("M11"));
+        assert!(MontiumError::NoSuchRegister {
+            file: 2,
+            register: 9
+        }
+        .to_string()
+        .contains("RF02"));
         let e = MontiumError::InvalidKernel {
             kernel: "dscf_mac",
             message: "zero tasks".into(),

@@ -97,7 +97,9 @@ impl InterconnectConfig {
             for port in [c.from, c.to] {
                 match port {
                     Port::Memory(id) if id == 0 || id > num_memories => {
-                        problems.push(format!("connection `{c}` references missing memory M{id:02}"));
+                        problems.push(format!(
+                            "connection `{c}` references missing memory M{id:02}"
+                        ));
                     }
                     Port::RegisterFile(id) if id == 0 || id > num_register_files => {
                         problems.push(format!(

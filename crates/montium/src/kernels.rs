@@ -145,7 +145,11 @@ pub struct IntegrationStepCycles {
 impl IntegrationStepCycles {
     /// Total cycles of the integration step.
     pub fn total(&self) -> u64 {
-        self.multiply_accumulate + self.read_data + self.fft + self.reshuffling + self.initialisation
+        self.multiply_accumulate
+            + self.read_data
+            + self.fft
+            + self.reshuffling
+            + self.initialisation
     }
 }
 
@@ -220,8 +224,7 @@ pub fn run_dscf_block(
         if step + 1 < f_count {
             // Ideal source: the values the neighbouring tiles would deliver.
             let incoming_conj = conjugated[centred_bin(task_set.conjugate_index(0, step + 1), k)];
-            let incoming_direct =
-                spectrum[centred_bin(task_set.direct_index(t - 1, step + 1), k)];
+            let incoming_direct = spectrum[centred_bin(task_set.direct_index(t - 1, step + 1), k)];
             core.shift_in(incoming_conj, incoming_direct)?;
         }
     }

@@ -1,0 +1,457 @@
+//! Composable channel impairments.
+//!
+//! A [`ChannelPipeline`] is an ordered list of [`ChannelStage`]s applied to
+//! the clean licensed-user signal: multipath, oscillator offset, additive
+//! noise at a target SNR, and ADC quantisation (reusing the Q15 format of
+//! `cfd-dsp::fixed`, the same datapath width as the Montium tiles). The
+//! pipeline is deterministic per `(pipeline, seed)` pair: each noisy stage
+//! derives its own sub-seed, so trials reproduce exactly.
+
+use crate::error::ScenarioError;
+use cfd_dsp::complex::Cplx;
+use cfd_dsp::fixed::Q15;
+use cfd_dsp::signal::{awgn, frequency_shift, normalise_power, signal_power};
+
+/// One impairment in a channel pipeline.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ChannelStage {
+    /// Additive white Gaussian noise with a fixed noise floor.
+    ///
+    /// If the incoming signal is non-zero it is first scaled so that the
+    /// signal-to-noise ratio after this stage equals `snr_db` (the
+    /// convention of `cfd-dsp::SignalBuilder`: the noise floor is the
+    /// reference, the signal adapts). A vacant band just receives the
+    /// noise floor.
+    Awgn {
+        /// Target signal-to-noise ratio in dB.
+        snr_db: f64,
+        /// Noise power (the H0 observation power).
+        noise_power: f64,
+    },
+    /// Carrier/local-oscillator frequency offset.
+    CarrierOffset {
+        /// Offset in cycles/sample.
+        normalised: f64,
+        /// Initial phase in radians.
+        phase: f64,
+    },
+    /// Two-ray multipath: a delayed, attenuated, phase-rotated echo is
+    /// added and the result renormalised to the incoming power, so the
+    /// stage changes the *shape* of the signal but not its energy budget.
+    TwoRay {
+        /// Echo delay in samples.
+        delay_samples: usize,
+        /// Echo amplitude relative to the direct ray, in `[0, 1]`.
+        relative_gain: f64,
+        /// Echo phase rotation in radians.
+        phase: f64,
+    },
+    /// ADC quantisation: each I/Q component is clipped to
+    /// `[-full_scale, full_scale)` and rounded to the 16-bit Q15 grid —
+    /// the paper's tile datapath width.
+    Quantize {
+        /// The converter's full-scale amplitude.
+        full_scale: f64,
+    },
+}
+
+impl ChannelStage {
+    /// Validates the stage parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidParameter`] for non-finite SNRs,
+    /// non-positive noise power or full scale, or an echo gain outside
+    /// `[0, 1]`.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        match self {
+            ChannelStage::Awgn {
+                snr_db,
+                noise_power,
+            } => {
+                if !snr_db.is_finite() {
+                    return Err(ScenarioError::InvalidParameter {
+                        name: "snr_db",
+                        message: format!("must be finite, got {snr_db}"),
+                    });
+                }
+                if !(noise_power.is_finite() && *noise_power > 0.0) {
+                    return Err(ScenarioError::InvalidParameter {
+                        name: "noise_power",
+                        message: format!("must be positive and finite, got {noise_power}"),
+                    });
+                }
+                Ok(())
+            }
+            ChannelStage::CarrierOffset { normalised, phase } => {
+                if !(normalised.is_finite() && phase.is_finite()) {
+                    return Err(ScenarioError::InvalidParameter {
+                        name: "carrier_offset",
+                        message: "offset and phase must be finite".into(),
+                    });
+                }
+                Ok(())
+            }
+            ChannelStage::TwoRay {
+                relative_gain,
+                phase,
+                ..
+            } => {
+                if !(*relative_gain >= 0.0 && *relative_gain <= 1.0) {
+                    return Err(ScenarioError::InvalidParameter {
+                        name: "relative_gain",
+                        message: format!("must be in [0, 1], got {relative_gain}"),
+                    });
+                }
+                if !phase.is_finite() {
+                    return Err(ScenarioError::InvalidParameter {
+                        name: "phase",
+                        message: format!("must be finite, got {phase}"),
+                    });
+                }
+                Ok(())
+            }
+            ChannelStage::Quantize { full_scale } => {
+                if !(full_scale.is_finite() && *full_scale > 0.0) {
+                    return Err(ScenarioError::InvalidParameter {
+                        name: "full_scale",
+                        message: format!("must be positive and finite, got {full_scale}"),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn apply(&self, samples: Vec<Cplx>, seed: u64) -> Vec<Cplx> {
+        match self {
+            ChannelStage::Awgn {
+                snr_db,
+                noise_power,
+            } => {
+                let power = signal_power(&samples);
+                let gain = if power > 0.0 {
+                    let target = noise_power * 10f64.powf(snr_db / 10.0);
+                    (target / power).sqrt()
+                } else {
+                    1.0
+                };
+                let noise = awgn(samples.len(), *noise_power, seed);
+                samples
+                    .iter()
+                    .zip(noise.iter())
+                    .map(|(&s, &w)| s * gain + w)
+                    .collect()
+            }
+            ChannelStage::CarrierOffset { normalised, phase } => {
+                frequency_shift(&samples, *normalised, *phase)
+            }
+            ChannelStage::TwoRay {
+                delay_samples,
+                relative_gain,
+                phase,
+            } => {
+                let power_in = signal_power(&samples);
+                if power_in == 0.0 {
+                    return samples;
+                }
+                let echo_gain = Cplx::from_polar(*relative_gain, *phase);
+                let faded: Vec<Cplx> = (0..samples.len())
+                    .map(|t| {
+                        let direct = samples[t];
+                        let echo = if t >= *delay_samples {
+                            samples[t - delay_samples] * echo_gain
+                        } else {
+                            Cplx::ZERO
+                        };
+                        direct + echo
+                    })
+                    .collect();
+                normalise_power(&faded, power_in)
+            }
+            ChannelStage::Quantize { full_scale } => samples
+                .iter()
+                .map(|&x| {
+                    let q = |v: f64| Q15::from_f64(v / full_scale).to_f64() * full_scale;
+                    Cplx::new(q(x.re), q(x.im))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// An ordered list of channel stages.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct ChannelPipeline {
+    /// The stages, applied first-to-last.
+    pub stages: Vec<ChannelStage>,
+}
+
+impl ChannelPipeline {
+    /// Creates a pipeline from stages.
+    pub fn new(stages: Vec<ChannelStage>) -> Self {
+        ChannelPipeline { stages }
+    }
+
+    /// The classic clean-channel baseline: AWGN at `snr_db` over a unit
+    /// noise floor.
+    pub fn awgn(snr_db: f64) -> Self {
+        ChannelPipeline::new(vec![ChannelStage::Awgn {
+            snr_db,
+            noise_power: 1.0,
+        }])
+    }
+
+    /// Validates every stage and requires at least one noise stage (a
+    /// noiseless "channel" makes detection trivially deterministic and is
+    /// almost always a configuration mistake).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage validation failures; reports a missing AWGN stage.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        for stage in &self.stages {
+            stage.validate()?;
+        }
+        if !self
+            .stages
+            .iter()
+            .any(|s| matches!(s, ChannelStage::Awgn { .. }))
+        {
+            return Err(ScenarioError::InvalidParameter {
+                name: "stages",
+                message: "pipeline needs at least one Awgn stage".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Applies all stages. Deterministic per `(self, seed)`: stage `i`
+    /// mixes `i` into its sub-seed, so reordering stages changes the noise
+    /// realisation but repeated runs do not.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ChannelPipeline::validate`] failures.
+    pub fn apply(&self, samples: Vec<Cplx>, seed: u64) -> Result<Vec<Cplx>, ScenarioError> {
+        self.validate()?;
+        let mut current = samples;
+        for (index, stage) in self.stages.iter().enumerate() {
+            current = stage.apply(current, mix_seed(seed, index as u64));
+        }
+        Ok(current)
+    }
+
+    /// A copy of the pipeline with every AWGN stage retargeted to
+    /// `snr_db` — the lever the SNR sweep layer pulls.
+    pub fn with_snr(&self, snr_db: f64) -> Self {
+        let stages = self
+            .stages
+            .iter()
+            .map(|stage| match stage {
+                ChannelStage::Awgn { noise_power, .. } => ChannelStage::Awgn {
+                    snr_db,
+                    noise_power: *noise_power,
+                },
+                other => other.clone(),
+            })
+            .collect();
+        ChannelPipeline { stages }
+    }
+
+    /// A copy with every AWGN noise floor set to `noise_power` (models a
+    /// noise floor the detectors were *not* calibrated for).
+    pub fn with_noise_power(&self, noise_power: f64) -> Self {
+        let stages = self
+            .stages
+            .iter()
+            .map(|stage| match stage {
+                ChannelStage::Awgn { snr_db, .. } => ChannelStage::Awgn {
+                    snr_db: *snr_db,
+                    noise_power,
+                },
+                other => other.clone(),
+            })
+            .collect();
+        ChannelPipeline { stages }
+    }
+
+    /// The SNR the first AWGN stage targets, if any.
+    pub fn snr_db(&self) -> Option<f64> {
+        self.stages.iter().find_map(|s| match s {
+            ChannelStage::Awgn { snr_db, .. } => Some(*snr_db),
+            _ => None,
+        })
+    }
+
+    /// The noise floor of the first AWGN stage, if any.
+    pub fn noise_power(&self) -> Option<f64> {
+        self.stages.iter().find_map(|s| match s {
+            ChannelStage::Awgn { noise_power, .. } => Some(*noise_power),
+            _ => None,
+        })
+    }
+}
+
+/// SplitMix64-style seed mixing so every (trial, stage) pair gets an
+/// independent stream.
+pub(crate) fn mix_seed(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::SignalModel;
+
+    fn bpsk(len: usize, seed: u64) -> Vec<Cplx> {
+        SignalModel::bpsk().generate(len, seed).unwrap()
+    }
+
+    #[test]
+    fn awgn_stage_hits_target_snr() {
+        let clean = bpsk(65_536, 1);
+        let channel = ChannelPipeline::awgn(3.0);
+        let noisy = channel.apply(clean, 42).unwrap();
+        // Total power = noise (1.0) + signal (10^0.3 ~ 2.0).
+        let p = signal_power(&noisy);
+        assert!((p - 3.0).abs() < 0.2, "p = {p}");
+    }
+
+    #[test]
+    fn awgn_stage_gives_vacant_band_the_noise_floor() {
+        let vacant = vec![Cplx::ZERO; 65_536];
+        let noisy = ChannelPipeline::awgn(10.0).apply(vacant, 7).unwrap();
+        let p = signal_power(&noisy);
+        assert!((p - 1.0).abs() < 0.1, "p = {p}");
+    }
+
+    #[test]
+    fn pipeline_is_deterministic_per_seed() {
+        let channel = ChannelPipeline::new(vec![
+            ChannelStage::TwoRay {
+                delay_samples: 3,
+                relative_gain: 0.5,
+                phase: 1.0,
+            },
+            ChannelStage::CarrierOffset {
+                normalised: 0.01,
+                phase: 0.0,
+            },
+            ChannelStage::Awgn {
+                snr_db: 0.0,
+                noise_power: 1.0,
+            },
+            ChannelStage::Quantize { full_scale: 4.0 },
+        ]);
+        let a = channel.apply(bpsk(1024, 3), 9).unwrap();
+        let b = channel.apply(bpsk(1024, 3), 9).unwrap();
+        let c = channel.apply(bpsk(1024, 3), 10).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn two_ray_preserves_power_and_mixes_echo() {
+        let clean = bpsk(4096, 5);
+        let p_in = signal_power(&clean);
+        let stage = ChannelStage::TwoRay {
+            delay_samples: 2,
+            relative_gain: 0.8,
+            phase: 0.7,
+        };
+        let faded = stage.apply(clean.clone(), 0);
+        assert!((signal_power(&faded) - p_in).abs() < 1e-9);
+        assert_ne!(faded, clean);
+        // The echo of sample 0 shows up at sample 2.
+        let expected = clean[2] + clean[0] * Cplx::from_polar(0.8, 0.7);
+        let gain = (p_in
+            / signal_power(&{
+                let echo_gain = Cplx::from_polar(0.8, 0.7);
+                (0..clean.len())
+                    .map(|t| {
+                        clean[t]
+                            + if t >= 2 {
+                                clean[t - 2] * echo_gain
+                            } else {
+                                Cplx::ZERO
+                            }
+                    })
+                    .collect::<Vec<_>>()
+            }))
+        .sqrt();
+        assert!((faded[2] - expected * gain).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantize_snaps_to_q15_grid_and_clips() {
+        let stage = ChannelStage::Quantize { full_scale: 2.0 };
+        let samples = vec![Cplx::new(0.7, -0.3), Cplx::new(5.0, -5.0)];
+        let out = stage.apply(samples, 0);
+        // In-range values move by at most one LSB (2.0 / 32768).
+        assert!((out[0].re - 0.7).abs() <= 2.0 / 32768.0);
+        assert!((out[0].im + 0.3).abs() <= 2.0 / 32768.0);
+        // Out-of-range values clip to full scale.
+        assert!(out[1].re <= 2.0 && out[1].re > 1.99);
+        assert!(out[1].im >= -2.0 && out[1].im < -1.99);
+    }
+
+    #[test]
+    fn with_snr_and_noise_power_rewrite_awgn_stages_only() {
+        let channel = ChannelPipeline::new(vec![
+            ChannelStage::CarrierOffset {
+                normalised: 0.01,
+                phase: 0.0,
+            },
+            ChannelStage::Awgn {
+                snr_db: 0.0,
+                noise_power: 1.0,
+            },
+        ]);
+        let retargeted = channel.with_snr(-5.0).with_noise_power(1.26);
+        assert_eq!(retargeted.snr_db(), Some(-5.0));
+        assert_eq!(retargeted.noise_power(), Some(1.26));
+        assert_eq!(retargeted.stages[0], channel.stages[0]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_stages_and_noiseless_pipelines() {
+        assert!(ChannelPipeline::new(vec![]).validate().is_err());
+        assert!(
+            ChannelPipeline::new(vec![ChannelStage::Quantize { full_scale: 1.0 }])
+                .validate()
+                .is_err()
+        );
+        assert!(ChannelStage::Awgn {
+            snr_db: f64::NAN,
+            noise_power: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ChannelStage::Awgn {
+            snr_db: 0.0,
+            noise_power: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(ChannelStage::TwoRay {
+            delay_samples: 1,
+            relative_gain: 1.5,
+            phase: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(ChannelStage::Quantize { full_scale: -1.0 }
+            .validate()
+            .is_err());
+        assert!(ChannelStage::CarrierOffset {
+            normalised: f64::INFINITY,
+            phase: 0.0
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type of the scenario engine.
+
+use cfd_core::error::CfdError;
+use cfd_dsp::error::DspError;
+use std::fmt;
+
+/// Errors produced while building or running radio scenarios.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// A scenario, signal-model or channel parameter is out of range.
+    InvalidParameter {
+        /// The offending parameter.
+        name: &'static str,
+        /// Human-readable explanation.
+        message: String,
+    },
+    /// An underlying DSP operation failed.
+    Dsp(DspError),
+    /// The tiled-SoC sensing path failed.
+    Core(CfdError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::InvalidParameter { name, message } => {
+                write!(f, "invalid scenario parameter `{name}`: {message}")
+            }
+            ScenarioError::Dsp(e) => write!(f, "dsp error: {e}"),
+            ScenarioError::Core(e) => write!(f, "sensing error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Dsp(e) => Some(e),
+            ScenarioError::Core(e) => Some(e),
+            ScenarioError::InvalidParameter { .. } => None,
+        }
+    }
+}
+
+impl From<DspError> for ScenarioError {
+    fn from(e: DspError) -> Self {
+        ScenarioError::Dsp(e)
+    }
+}
+
+impl From<CfdError> for ScenarioError {
+    fn from(e: CfdError) -> Self {
+        ScenarioError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let p = ScenarioError::InvalidParameter {
+            name: "x",
+            message: "bad".into(),
+        };
+        assert!(p.to_string().contains("x"));
+        let d = ScenarioError::from(DspError::InsufficientSamples {
+            needed: 2,
+            available: 1,
+        });
+        assert!(d.to_string().contains("dsp"));
+        use std::error::Error;
+        assert!(d.source().is_some());
+        assert!(p.source().is_none());
+    }
+}

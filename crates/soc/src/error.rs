@@ -82,10 +82,7 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = tile_error(
-            2,
-            MontiumError::NoSuchBank { bank: 11 },
-        );
+        let e = tile_error(2, MontiumError::NoSuchBank { bank: 11 });
         assert!(e.to_string().contains("tile 2"));
         assert!(e.source().is_some());
         let e: SocError = MappingError::InvalidParameter {

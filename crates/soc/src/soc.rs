@@ -151,10 +151,12 @@ impl TiledSoc {
     pub fn run(&mut self, signal: &[Cplx], num_blocks: usize) -> Result<SocRun, SocError> {
         let needed = num_blocks * self.fft_len;
         if signal.len() < needed {
-            return Err(SocError::Dsp(cfd_dsp::error::DspError::InsufficientSamples {
-                needed,
-                available: signal.len(),
-            }));
+            return Err(SocError::Dsp(
+                cfd_dsp::error::DspError::InsufficientSamples {
+                    needed,
+                    available: signal.len(),
+                },
+            ));
         }
         for block in 0..num_blocks {
             let samples = &signal[block * self.fft_len..(block + 1) * self.fft_len];
@@ -271,7 +273,11 @@ impl TiledSoc {
         let results: Vec<Result<(), SocError>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(q_count);
             for (q, tile) in self.tiles.iter_mut().enumerate() {
-                let conj_in = if q > 0 { Some(conj_links[q - 1].clone()) } else { None };
+                let conj_in = if q > 0 {
+                    Some(conj_links[q - 1].clone())
+                } else {
+                    None
+                };
                 let conj_out = if q + 1 < q_count {
                     Some(conj_links[q].clone())
                 } else {

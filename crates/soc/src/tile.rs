@@ -29,7 +29,11 @@ pub struct TileCycleBreakdown {
 impl TileCycleBreakdown {
     /// Total cycles of the tile.
     pub fn total(&self) -> u64 {
-        self.multiply_accumulate + self.read_data + self.fft + self.reshuffling + self.initialisation
+        self.multiply_accumulate
+            + self.read_data
+            + self.fft
+            + self.reshuffling
+            + self.initialisation
     }
 }
 
@@ -161,7 +165,11 @@ impl Tile {
     /// # Errors
     ///
     /// Propagates tile errors.
-    pub fn shift_in(&mut self, incoming_conjugate: Cplx, incoming_direct: Cplx) -> Result<(), SocError> {
+    pub fn shift_in(
+        &mut self,
+        incoming_conjugate: Cplx,
+        incoming_direct: Cplx,
+    ) -> Result<(), SocError> {
         self.core
             .shift_in(incoming_conjugate, incoming_direct)
             .map_err(|e| tile_error(self.index, e))

@@ -1,63 +1,84 @@
-//! Detector comparison: cyclostationary feature detection versus energy
-//! detection (the motivation for accepting the DSCF's 16x higher
-//! multiplication count, Section 1/2 of the paper and reference [7]).
+//! Detector comparison on the scenario engine: cyclostationary feature
+//! detection versus energy detection (the motivation for accepting the
+//! DSCF's 16x higher multiplication count, Section 1/2 of the paper and
+//! reference [7]).
 //!
-//! Builds receiver-operating-characteristic curves for both detectors at a
-//! low SNR using the golden-model DSCF, and prints the area under each
-//! curve.
+//! A BPSK licensed user is swept over SNR through an AWGN channel whose
+//! actual noise floor sits 1 dB above what both detectors were calibrated
+//! for — the regime Cabric et al. use to argue for feature detection. Both
+//! detectors target a 10% false-alarm rate at the *nominal* floor: the
+//! energy detector via its analytic threshold, the CFD detector via
+//! Monte-Carlo calibration of its scale-invariant statistic. The run is
+//! fully seeded and reproduces exactly.
 //!
 //! Run with: `cargo run --release --example detector_roc`
 
 use cfd_tiled_soc::dsp::prelude::*;
-use cfd_tiled_soc::dsp::metrics::Scenario;
+use cfd_tiled_soc::scenario::prelude::*;
+
+const SEED: u64 = 2007;
+const TRIALS: usize = 100;
+const TARGET_PFA: f64 = 0.1;
+/// Actual-to-assumed noise power: a 1 dB calibration error.
+const NOISE_UNCERTAINTY: f64 = 1.26;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let params = ScfParams::new(32, 7, 80)?;
-    let scenario = Scenario {
-        observation_len: params.samples_needed(),
-        snr_db: 0.0,
-        samples_per_symbol: 4,
-        trials: 40,
-        ..Default::default()
-    };
+    // The sensing configuration: 15x15 DSCF over 32-point spectra with 64
+    // integration steps, i.e. 2048 samples per decision.
+    let params = ScfParams::new(32, 7, 64)?;
+    let samples_per_decision = params.samples_needed();
 
-    let cfd = CyclostationaryDetector::new(params.clone(), 0.35, 1)?;
-    let energy = EnergyDetector::new(1.0, 0.05, scenario.observation_len)?;
+    let scenario = RadioScenario::preset("bpsk-awgn", samples_per_decision)
+        .expect("built-in preset")
+        .with_seed(SEED)
+        .with_noise_power(NOISE_UNCERTAINTY);
 
+    // Calibrate both detectors for the nominal (unit) noise floor.
+    let cfd_threshold = calibrate_cfd_threshold(&params, 1, TARGET_PFA, 200, SEED)?;
+    let mut detectors = vec![
+        SweepDetector::Energy(EnergyDetector::new(1.0, TARGET_PFA, samples_per_decision)?),
+        SweepDetector::Cyclostationary(CyclostationaryDetector::new(
+            params.clone(),
+            cfd_threshold,
+            1,
+        )?),
+    ];
+
+    let sweep = SnrSweep::linspace(-12.0, 8.0, 6, TRIALS)?;
     println!(
-        "scenario: BPSK licensed user, {} samples/symbol, {} samples/observation, SNR {} dB, {} trials",
-        scenario.samples_per_symbol, scenario.observation_len, scenario.snr_db, scenario.trials
-    );
-
-    let cfd_roc = scenario.roc(&cfd, 40)?;
-    let energy_roc = scenario.roc(&energy, 40)?;
-
-    println!("\nCFD ROC (Pfa, Pd):");
-    for point in cfd_roc.points.iter().step_by(4) {
-        println!("  {:.3}  {:.3}", point.false_alarm, point.detection);
-    }
-    println!("Energy-detector ROC (Pfa, Pd):");
-    for point in energy_roc.points.iter().step_by(4) {
-        println!("  {:.3}  {:.3}", point.false_alarm, point.detection);
-    }
-    println!("\nAUC: CFD = {:.3}, energy detector = {:.3}", cfd_roc.auc(), energy_roc.auc());
-
-    // The same comparison under a 1 dB noise-floor uncertainty, where the
-    // energy detector's operating point collapses.
-    let uncertain = Scenario {
-        noise_power: 1.26,
-        ..scenario
-    };
-    let cfd_point = uncertain.evaluate(&cfd)?;
-    let energy_point = uncertain.evaluate(&energy)?;
-    println!("\nWith a 1 dB noise-floor error (detectors still assume 1.0):");
-    println!(
-        "  CFD    : Pd = {:.2}, Pfa = {:.2}",
-        cfd_point.detection, cfd_point.false_alarm
+        "scenario: {} | {} samples/decision | {} trials/point | seed {SEED}",
+        scenario.name, samples_per_decision, TRIALS
     );
     println!(
-        "  energy : Pd = {:.2}, Pfa = {:.2}   <- false alarms explode",
-        energy_point.detection, energy_point.false_alarm
+        "both detectors calibrated for Pfa = {TARGET_PFA} at noise power 1.0; \
+         actual noise power = {NOISE_UNCERTAINTY} (+1 dB)"
+    );
+    println!("calibrated CFD threshold: {cfd_threshold:.3}\n");
+
+    let table = evaluate_sweep(&scenario, &sweep, &mut detectors)?;
+    print!("{}", table.render());
+
+    // Who delivers a usable operating point at each SNR?
+    println!();
+    let mut cfd_wins = Vec::new();
+    for &snr in &sweep.snr_points_db {
+        let energy = table.row("energy", snr).expect("row exists");
+        let cfd = table.row("cfd", snr).expect("row exists");
+        if cfd.balanced_accuracy() > energy.balanced_accuracy() {
+            cfd_wins.push(snr);
+        }
+    }
+    println!(
+        "CFD beats the energy detector (balanced accuracy) at {} of {} SNR points: {:?} dB",
+        cfd_wins.len(),
+        sweep.snr_points_db.len(),
+        cfd_wins
+    );
+    println!(
+        "The 1 dB noise-floor error drives the energy detector's false alarms to ~1\n\
+         (its threshold sits below the actual noise power), while the CFD statistic —\n\
+         normalised by the a = 0 ridge — keeps its calibrated Pfa and wins at low SNR.\n\
+         This is why the paper accepts the 16x higher multiplication count of the DSCF."
     );
     Ok(())
 }

@@ -20,7 +20,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Scaling the application on the 4-core AAF platform ---------------
     println!("\n== Application scaling on the 4-tile platform ==");
     println!("K     M    grid      T   cycles/block  time [us]  bandwidth [kHz]  fits");
-    for (fft_len, max_offset) in [(64usize, 15usize), (128, 31), (256, 63), (512, 127), (1024, 255)] {
+    for (fft_len, max_offset) in [
+        (64usize, 15usize),
+        (128, 31),
+        (256, 63),
+        (512, 127),
+        (1024, 255),
+    ] {
         let app = CfdApplication::new(fft_len, max_offset, 1)?;
         let report = TwoStepMapping::analyse(&app, &Platform::paper())?;
         println!(
@@ -31,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.step2.cycles.total(),
             report.step2.time_per_block_us,
             report.metrics.analysed_bandwidth_khz,
-            if report.step2.accumulators_fit { "yes" } else { "no" }
+            if report.step2.accumulators_fit {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
 

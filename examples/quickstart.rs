@@ -17,8 +17,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let platform = Platform::paper();
     let report = TwoStepMapping::analyse(&application, &platform)?;
 
-    println!("== Two-step mapping of the {}x{} DSCF onto {} Montium cores ==",
-        application.grid_size(), application.grid_size(), platform.cores);
+    println!(
+        "== Two-step mapping of the {}x{} DSCF onto {} Montium cores ==",
+        application.grid_size(),
+        application.grid_size(),
+        platform.cores
+    );
     println!(
         "Step 1: P = {} tasks, T = {} tasks/core, {} complex accumulators/core, shift registers 2 x {} values",
         report.step1.initial_processors,
@@ -27,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.step1.shift_registers.complex_values_per_flow()
     );
     println!("\nStep 2 (Table 1):");
-    println!("{}", Table1Report::from_cycles(&report.step2.cycles).render());
+    println!(
+        "{}",
+        Table1Report::from_cycles(&report.step2.cycles).render()
+    );
     println!(
         "One integration step: {:.2} us  |  analysed bandwidth {:.0} kHz  |  {} mm^2  |  {} mW",
         report.step2.time_per_block_us,
@@ -58,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "max |SoC - reference| = {difference:.3e}  (blocks: {}, inter-tile transfers: {})",
         run.blocks, run.inter_tile_transfers
     );
-    assert!(difference < 1e-9, "the platform result must match the golden model");
+    assert!(
+        difference < 1e-9,
+        "the platform result must match the golden model"
+    );
     println!("The distributed DSCF matches the golden model. Done.");
     Ok(())
 }

@@ -1,83 +1,74 @@
-//! Cognitive-radio spectrum sensing on the simulated tiled SoC.
+//! Cognitive-radio spectrum sensing on the simulated tiled SoC, driven by
+//! the scenario engine.
 //!
-//! The scenario of the paper's introduction: an emergency-communication
-//! cognitive radio must find vacant spectrum. A BPSK licensed user appears
-//! at various SNRs; the sensor computes the DSCF on the simulated 4-tile
-//! platform and thresholds its cyclic features, while an energy detector
-//! with a slightly mis-calibrated noise floor serves as the baseline.
+//! Every built-in preset of `cfd-scenario` — BPSK over AWGN, QPSK with a
+//! local-oscillator offset, BPSK through two-ray multipath, an OFDM-like
+//! pilot signal and BPSK behind a Q15 ADC — is sensed by the paper's
+//! platform: the DSCF is computed on the simulated 4-tile SoC
+//! (`SpectrumSensor`) and its cyclic features thresholded, with an energy
+//! detector whose noise estimate is 1 dB off as the baseline.
 //!
 //! Run with: `cargo run --release --example spectrum_sensing`
 
 use cfd_tiled_soc::core::prelude::*;
 use cfd_tiled_soc::dsp::prelude::*;
+use cfd_tiled_soc::scenario::prelude::*;
 
-fn observation(present: bool, snr_db: f64, len: usize, seed: u64) -> Vec<Cplx> {
-    let mut builder = SignalBuilder::new(len)
-        .modulation(SymbolModulation::Bpsk)
-        .samples_per_symbol(4)
-        .seed(seed);
-    if present {
-        builder = builder.snr_db(snr_db);
-    } else {
-        builder = builder.noise_only();
-    }
-    builder.build().expect("valid builder").samples
-}
+const SEED: u64 = 42;
+const TRIALS: usize = 8;
+const NOISE_UNCERTAINTY: f64 = 1.26;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A compact sensing configuration so the example runs quickly:
     // 15x15 DSCF over 32-point spectra, 64 integration steps per decision.
     let application = CfdApplication::new(32, 7, 64)?;
     let platform = Platform::paper();
-    let mut sensor = SpectrumSensor::new(application.clone(), &platform, 0.35, 1)?;
-    let samples_per_decision = sensor.samples_per_decision();
-    // The energy detector believes the noise floor is 1.0, but the actual
-    // noise is 1 dB stronger — the classic situation where CFD pays off.
-    let noise_uncertainty = 1.26_f64;
-    let trials = 8;
+    let samples_per_decision = application.samples_needed();
+    let sweep = SnrSweep::new(vec![-2.0, 2.0, 6.0], TRIALS)?;
 
-    println!("samples per decision: {samples_per_decision}");
-    println!("snr [dB]  CFD Pd   CFD Pfa   Energy Pd  Energy Pfa  latency [us]");
-    for snr_db in [-2.0, 0.0, 2.0, 5.0, 10.0] {
-        let mut cfd_detections = 0;
-        let mut cfd_false_alarms = 0;
-        let mut energy_detections = 0;
-        let mut energy_false_alarms = 0;
-        let mut latency = 0.0;
-        for trial in 0..trials {
-            let busy: Vec<Cplx> = observation(true, snr_db, samples_per_decision, 100 + trial)
-                .into_iter()
-                .map(|x| x * noise_uncertainty.sqrt())
-                .collect();
-            let idle: Vec<Cplx> = observation(false, 0.0, samples_per_decision, 200 + trial)
-                .into_iter()
-                .map(|x| x * noise_uncertainty.sqrt())
-                .collect();
-
-            let busy_report = sensor.sense(&busy)?;
-            let idle_report = sensor.sense(&idle)?;
-            latency = busy_report.latency_us;
-            cfd_detections += busy_report.occupied() as usize;
-            cfd_false_alarms += idle_report.occupied() as usize;
-
-            energy_detections +=
-                energy_detector_baseline(&busy, 1.0, 0.05)?.decision.is_signal() as usize;
-            energy_false_alarms +=
-                energy_detector_baseline(&idle, 1.0, 0.05)?.decision.is_signal() as usize;
-        }
-        println!(
-            "{snr_db:>8.1}  {:>6.2}  {:>8.2}  {:>9.2}  {:>10.2}  {latency:>12.1}",
-            cfd_detections as f64 / trials as f64,
-            cfd_false_alarms as f64 / trials as f64,
-            energy_detections as f64 / trials as f64,
-            energy_false_alarms as f64 / trials as f64,
-        );
-    }
-    println!();
+    // Report the platform cost of one decision once up front.
+    let mut probe = SpectrumSensor::new(application.clone(), &platform, 0.35, 1)?;
+    let probe_obs = RadioScenario::preset("bpsk-awgn", samples_per_decision)
+        .expect("built-in preset")
+        .with_seed(SEED)
+        .observe(Hypothesis::Occupied, 0)?;
+    let report = probe.sense(&probe_obs.samples)?;
     println!(
-        "Note how the energy detector false-alarms on the empty band because its noise\n\
-         estimate is 1 dB off, while the CFD statistic (normalised by the a = 0 ridge)\n\
-         is unaffected — the reason the paper accepts the 16x higher compute cost."
+        "platform: {} tiles | {} samples/decision | sensing latency {:.1} us/decision",
+        report.per_tile_cycles.len(),
+        samples_per_decision,
+        report.latency_us
+    );
+    println!(
+        "detectors assume noise power 1.0; the actual floor is {NOISE_UNCERTAINTY} (+1 dB); \
+         {TRIALS} trials/point, seed {SEED}\n"
+    );
+
+    for preset in RadioScenario::preset_names() {
+        let scenario = RadioScenario::preset(preset, samples_per_decision)
+            .expect("built-in preset")
+            .with_seed(SEED)
+            .with_noise_power(NOISE_UNCERTAINTY);
+        let mut detectors = vec![
+            SweepDetector::TiledSoc(Box::new(SpectrumSensor::new(
+                application.clone(),
+                &platform,
+                0.35,
+                1,
+            )?)),
+            SweepDetector::Energy(EnergyDetector::new(1.0, 0.05, samples_per_decision)?),
+        ];
+        let table = evaluate_sweep(&scenario, &sweep, &mut detectors)?;
+        println!("== scenario: {preset}");
+        print!("{}", table.render());
+        println!();
+    }
+
+    println!(
+        "Note how the energy detector false-alarms on every vacant band because its\n\
+         noise estimate is 1 dB off, while the SoC-computed CFD statistic (normalised\n\
+         by the a = 0 ridge) is unaffected — the reason the paper accepts the 16x\n\
+         higher compute cost."
     );
     Ok(())
 }

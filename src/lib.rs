@@ -13,7 +13,9 @@
 //! * [`soc`] (`tiled-soc`) — the 4-tile AAF platform with explicit
 //!   inter-tile streams;
 //! * [`core`] (`cfd-core`) — the two-step methodology, Table 1 / Section 5
-//!   reports and end-to-end spectrum sensing.
+//!   reports and end-to-end spectrum sensing;
+//! * [`scenario`] (`cfd-scenario`) — the radio-scenario engine: signal
+//!   models, channel pipelines, SNR sweeps and the ROC evaluation harness.
 //!
 //! ## Quickstart
 //!
@@ -35,5 +37,6 @@
 pub use cfd_core as core;
 pub use cfd_dsp as dsp;
 pub use cfd_mapping as mapping;
+pub use cfd_scenario as scenario;
 pub use montium_sim as montium;
 pub use tiled_soc as soc;

@@ -41,7 +41,8 @@ fn all_implementations_agree_on_the_same_dscf() {
     assert!(folded_result.max_abs_difference(&reference) < 1e-9);
 
     // Full tiled SoC, lockstep.
-    let mut lockstep = TiledSoc::new(SocConfig::paper(), params.max_offset, params.fft_len).unwrap();
+    let mut lockstep =
+        TiledSoc::new(SocConfig::paper(), params.max_offset, params.fft_len).unwrap();
     let lockstep_run = lockstep.run(&signal, params.num_blocks).unwrap();
     assert!(lockstep_run.scf.max_abs_difference(&reference) < 1e-9);
 
@@ -88,7 +89,12 @@ fn end_to_end_sensing_on_the_platform_detects_and_clears() {
     let report = sensor.sense(&busy).unwrap();
     assert!(report.occupied());
 
-    let idle = SignalBuilder::new(n).noise_only().seed(4).build().unwrap().samples;
+    let idle = SignalBuilder::new(n)
+        .noise_only()
+        .seed(4)
+        .build()
+        .unwrap()
+        .samples;
     let report = sensor.sense(&idle).unwrap();
     assert!(!report.occupied());
 }

@@ -3,7 +3,9 @@
 //! Section 4.1 memory sizing and Table 1, and the Section 5 evaluation.
 
 use cfd_core::prelude::*;
-use cfd_dsp::fft::{dscf_complex_multiplications, dscf_to_fft_cost_ratio, fft_complex_multiplications};
+use cfd_dsp::fft::{
+    dscf_complex_multiplications, dscf_to_fft_cost_ratio, fft_complex_multiplications,
+};
 use cfd_dsp::signal::awgn;
 use cfd_mapping::folding::Folding;
 use cfd_mapping::memory::{MemoryRequirement, ShiftRegisterRequirement};
@@ -59,7 +61,12 @@ fn table1_from_the_cycle_level_tile_simulation() {
     let run = run_integration_step(&mut tile, &task_set, &awgn(256, 1.0, 1)).unwrap();
     let table = Table1Report::from_cycles(&run.cycles);
     let paper = Table1Report::paper_reference();
-    assert!(table.matches(&paper), "\nsimulated:\n{}\npaper:\n{}", table.render(), paper.render());
+    assert!(
+        table.matches(&paper),
+        "\nsimulated:\n{}\npaper:\n{}",
+        table.render(),
+        paper.render()
+    );
 }
 
 #[test]
@@ -109,6 +116,9 @@ fn section5_linear_scaling_claim() {
         // Bandwidth scales linearly in the MAC-dominated part; the fixed
         // FFT/reshuffle overhead makes it slightly sub-linear overall.
         let ratio = row.analysed_bandwidth_khz / base.analysed_bandwidth_khz;
-        assert!(ratio > 0.6 * factor && ratio <= factor, "ratio {ratio} vs factor {factor}");
+        assert!(
+            ratio > 0.6 * factor && ratio <= factor,
+            "ratio {ratio} vs factor {factor}"
+        );
     }
 }

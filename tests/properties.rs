@@ -11,8 +11,12 @@ use cfd_mapping::systolic::SystolicArray;
 use proptest::prelude::*;
 
 fn arbitrary_signal(len: usize) -> impl Strategy<Value = Vec<Cplx>> {
-    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), len)
-        .prop_map(|pairs| pairs.into_iter().map(|(re, im)| Cplx::new(re, im)).collect())
+    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), len).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(re, im)| Cplx::new(re, im))
+            .collect()
+    })
 }
 
 proptest! {

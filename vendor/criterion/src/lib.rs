@@ -1,0 +1,250 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no network access, so this crate provides the
+//! subset of the criterion 0.5 API the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`] and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! with a simple but honest measurement loop: warm up, then time batches of
+//! iterations until the configured measurement time (capped) elapses, and
+//! print the mean time per iteration. Statistical analysis, outlier
+//! rejection and HTML reports of the real crate are intentionally absent;
+//! the printed numbers are still comparable run-to-run on the same machine.
+
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &id.to_string(),
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples (used here as a minimum iteration
+    /// count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Finishes the group (no-op in this stand-in; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised benchmark (mirrors
+/// `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    min_samples: usize,
+    f: &mut F,
+) {
+    // Warm-up: run single iterations until the warm-up budget elapses, and
+    // use the observed cost to size measurement batches.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut per_iter = Duration::from_nanos(0);
+    while warm_start.elapsed() < warm_up || warm_iters == 0 {
+        let mut b = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = b.elapsed;
+        warm_iters += 1;
+        if warm_iters >= 1000 {
+            break;
+        }
+    }
+    let batch =
+        (measurement.as_nanos() / per_iter.as_nanos().max(1) / 10).clamp(1, 1_000_000) as u64;
+
+    let mut total_iters = 0u64;
+    let mut total_time = Duration::ZERO;
+    let deadline = Instant::now() + measurement.min(Duration::from_secs(3));
+    while Instant::now() < deadline || (total_iters as usize) < min_samples {
+        let mut b = Bencher {
+            iterations: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total_iters += batch;
+        total_time += b.elapsed;
+        if total_iters >= 100_000_000 {
+            break;
+        }
+    }
+    let ns_per_iter = total_time.as_nanos() as f64 / total_iters.max(1) as f64;
+    println!("bench: {label:<50} {ns_per_iter:>14.1} ns/iter ({total_iters} iters)");
+}
+
+/// Declares a function that runs a list of benchmark functions (mirrors
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point (mirrors `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,201 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this crate reimplements
+//! the (small) part of the `rand 0.8` API surface the workspace uses, with
+//! the same module paths and trait shapes so switching back to crates.io is
+//! a drop-in change:
+//!
+//! * [`RngCore`] / [`Rng`] / [`SeedableRng`] traits,
+//! * [`rngs::StdRng`] — here a xoshiro256\*\* generator seeded via
+//!   SplitMix64 (deterministic per seed, good statistical quality; **not**
+//!   the ChaCha12 generator the real `StdRng` uses, so streams differ from
+//!   upstream, but all in-repo reproducibility guarantees hold),
+//! * [`distributions::Distribution`] and the [`distributions::Standard`]
+//!   distribution for `bool`/`f64`/`u64`,
+//! * `gen_range` over half-open `f64`/`u64`/`usize`/`i64` ranges.
+
+#![warn(missing_docs)]
+
+pub use distributions::Distribution;
+
+/// A low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`] (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`distributions::Standard`]
+    /// distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: Distribution<T>,
+    {
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from a half-open range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of reproducible generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose entire stream is determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256\*\* with SplitMix64
+    /// seed expansion. Deterministic per seed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = state;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** by Blackman & Vigna (public domain reference).
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distributions over random values.
+pub mod distributions {
+    use super::Rng;
+
+    /// A distribution that can produce values of type `T` given a source of
+    /// randomness.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution for a type: uniform over `[0, 1)` for
+    /// floats, uniform over all values for integers and `bool`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits -> uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Uniform range sampling (mirrors `rand::distributions::uniform`).
+    pub mod uniform {
+        use super::super::Rng;
+        use super::{Distribution, Standard};
+
+        /// A range that can be sampled uniformly.
+        pub trait SampleRange<T> {
+            /// Draws one value from the range.
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl SampleRange<f64> for core::ops::Range<f64> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "empty range");
+                let u: f64 = Standard.sample(rng);
+                let v = self.start + u * (self.end - self.start);
+                // Keep the half-open contract if rounding lands on `end`.
+                if v < self.end {
+                    v
+                } else {
+                    self.start
+                }
+            }
+        }
+
+        macro_rules! impl_int_range {
+            ($($t:ty),* $(,)?) => {
+                $(
+                    impl SampleRange<$t> for core::ops::Range<$t> {
+                        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                            assert!(self.start < self.end, "empty range");
+                            let span = (self.end as i128 - self.start as i128) as u128;
+                            // Multiply-shift bounded sampling (Lemire's
+                            // method without the rejection step): some
+                            // values are over-represented by ~span/2^64,
+                            // which is negligible for the span sizes used
+                            // in this workspace but NOT exactly uniform.
+                            let hi = ((rng.next_u64() as u128)
+                                .wrapping_mul(span)
+                                >> 64) as i128;
+                            (self.start as i128 + hi) as $t
+                        }
+                    }
+                )*
+            };
+        }
+
+        impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+    }
+}

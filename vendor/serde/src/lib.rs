@@ -1,0 +1,58 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! real `serde` cannot be fetched from crates.io. The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as a forward-compatibility marker —
+//! nothing actually serialises data yet — so this crate provides the two
+//! trait names and (behind the `derive` feature) the matching derive macros,
+//! which emit empty impls.
+//!
+//! When network access becomes available, deleting `vendor/` and switching
+//! the workspace dependency back to crates.io is a drop-in change: every
+//! type that derives these traits uses only derivable field types.
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialised.
+///
+/// The real `serde::Serialize` has a `serialize` method driven by a
+/// `Serializer`; this stand-in keeps only the trait name so derives and
+/// bounds compile identically.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialised from borrowed data with
+/// lifetime `'de`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserialisable from any lifetime (mirrors
+/// `serde::de::DeserializeOwned`).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+macro_rules! impl_primitives {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_primitives!(
+    bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl Serialize for str {}
+impl<T: Serialize> Serialize for [T] {}

@@ -1,0 +1,145 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits empty impls of the marker traits defined by the sibling `serde`
+//! stand-in crate. The parser is deliberately tiny: it scans the item's
+//! token stream for the `struct`/`enum`/`union` keyword and takes the next
+//! identifier as the type name, then captures the generic parameter names
+//! (lifetime or type) so generic containers also derive cleanly.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the `serde::Serialize` marker for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let generics = item.generics_decl();
+    let args = item.generics_args();
+    let bounds = item.bounds("::serde::Serialize");
+    format!(
+        "impl{generics} ::serde::Serialize for {}{args} {bounds} {{}}",
+        item.name
+    )
+    .parse()
+    .expect("generated impl must parse")
+}
+
+/// Derives the `serde::Deserialize` marker for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let generics = item.generics_decl_with_de();
+    let args = item.generics_args();
+    let bounds = item.bounds("for<'any> ::serde::Deserialize<'any>");
+    format!(
+        "impl{generics} ::serde::Deserialize<'de> for {}{args} {bounds} {{}}",
+        item.name
+    )
+    .parse()
+    .expect("generated impl must parse")
+}
+
+struct Item {
+    name: String,
+    /// Generic parameter names in declaration order, e.g. `["'a", "T"]`.
+    params: Vec<String>,
+}
+
+impl Item {
+    fn generics_decl(&self) -> String {
+        if self.params.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.params.join(", "))
+        }
+    }
+
+    fn generics_decl_with_de(&self) -> String {
+        let mut params = vec!["'de".to_string()];
+        params.extend(self.params.iter().cloned());
+        format!("<{}>", params.join(", "))
+    }
+
+    fn generics_args(&self) -> String {
+        self.generics_decl()
+    }
+
+    fn bounds(&self, bound: &str) -> String {
+        let type_params: Vec<&String> = self
+            .params
+            .iter()
+            .filter(|p| !p.starts_with('\''))
+            .collect();
+        if type_params.is_empty() {
+            String::new()
+        } else {
+            let clauses: Vec<String> = type_params
+                .iter()
+                .map(|p| format!("{p}: {bound}"))
+                .collect();
+            format!("where {}", clauses.join(", "))
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Find the `struct` / `enum` / `union` keyword (skipping attributes,
+    // visibility and doc comments, which arrive as ordinary tokens).
+    while i < tokens.len() {
+        if let TokenTree::Ident(ident) = &tokens[i] {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                break;
+            }
+        }
+        i += 1;
+    }
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected type name after item keyword, got {other:?}"),
+    };
+    let params = parse_generic_params(&tokens[i + 2..]);
+    Item { name, params }
+}
+
+/// Extracts the parameter *names* from a `<...>` generic list (bounds and
+/// defaults are dropped; const generics are not supported by this stand-in).
+fn parse_generic_params(tokens: &[TokenTree]) -> Vec<String> {
+    match tokens.first() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut expecting_name = true;
+    let mut pending_lifetime = false;
+    for token in &tokens[1..] {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                expecting_name = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && expecting_name => {
+                pending_lifetime = true;
+            }
+            TokenTree::Ident(ident) if depth == 1 && expecting_name => {
+                if pending_lifetime {
+                    params.push(format!("'{ident}"));
+                    pending_lifetime = false;
+                } else {
+                    params.push(ident.to_string());
+                }
+                expecting_name = false;
+            }
+            _ => {}
+        }
+    }
+    params
+}
