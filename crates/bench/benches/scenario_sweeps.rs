@@ -1,7 +1,8 @@
 //! Criterion bench of the scenario engine's hot path: licensed-user signal
 //! generation, channel application, and detector evaluation over a small
-//! SNR sweep. Later PRs optimising the sweep loop (batching, caching block
-//! spectra, parallel trials) are measured against this baseline.
+//! SNR sweep — plus the serial-versus-parallel comparison of the batched
+//! sweep engine (`evaluate_sweep_serial` vs `evaluate_sweep_with_workers`),
+//! which is the headline measurement for the work-queue refactor.
 
 use cfd_dsp::detector::{CyclostationaryDetector, EnergyDetector};
 use cfd_dsp::scf::ScfParams;
@@ -83,17 +84,57 @@ fn bench_sweep_evaluation(c: &mut Criterion) {
     let sweep = SnrSweep::new(vec![-4.0, 0.0, 4.0], 4).expect("valid sweep");
 
     group.bench_function("energy_3snr_4trials", |b| {
-        let mut detectors = vec![SweepDetector::Energy(
+        let detectors = vec![SweepDetectorFactory::Energy(
             EnergyDetector::new(1.0, 0.1, len).expect("valid detector"),
         )];
-        b.iter(|| evaluate_sweep(&scenario, &sweep, &mut detectors).unwrap());
+        b.iter(|| evaluate_sweep(&scenario, &sweep, &detectors).unwrap());
     });
     group.bench_function("cfd_3snr_4trials", |b| {
-        let mut detectors = vec![SweepDetector::Cyclostationary(
+        let detectors = vec![SweepDetectorFactory::Cyclostationary(
             CyclostationaryDetector::new(params.clone(), 0.35, 1).expect("valid detector"),
         )];
-        b.iter(|| evaluate_sweep(&scenario, &sweep, &mut detectors).unwrap());
+        b.iter(|| evaluate_sweep(&scenario, &sweep, &detectors).unwrap());
     });
+    group.finish();
+}
+
+/// Serial vs parallel execution of the identical sweep: same factories,
+/// same seeded trials, bit-identical tables — only the scheduling differs.
+fn bench_sweep_engine_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_sweep_engine");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(300));
+    let params = ScfParams::new(32, 7, 32).expect("valid params");
+    let len = params.samples_needed();
+    let scenario = RadioScenario::preset("bpsk-awgn", len).expect("built-in preset");
+    let sweep = SnrSweep::new(vec![-4.0, 0.0, 4.0], 16).expect("valid sweep");
+    let detectors = vec![
+        SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.1, len).expect("valid detector")),
+        SweepDetectorFactory::Cyclostationary(
+            CyclostationaryDetector::new(params, 0.35, 1).expect("valid detector"),
+        ),
+    ];
+    group.bench_function("cfd_serial", |b| {
+        b.iter(|| evaluate_sweep_serial(&scenario, &sweep, &detectors).unwrap());
+    });
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut worker_counts = vec![2usize];
+    if cores > 2 {
+        worker_counts.push(cores);
+    }
+    for workers in worker_counts {
+        group.bench_with_input(
+            BenchmarkId::new("cfd_parallel", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    evaluate_sweep_with_workers(&scenario, &sweep, &detectors, workers).unwrap()
+                });
+            },
+        );
+    }
     group.finish();
 }
 
@@ -101,6 +142,7 @@ criterion_group!(
     benches,
     bench_signal_generation,
     bench_channel_stages,
-    bench_sweep_evaluation
+    bench_sweep_evaluation,
+    bench_sweep_engine_parallelism
 );
 criterion_main!(benches);

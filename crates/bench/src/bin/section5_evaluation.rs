@@ -8,6 +8,7 @@
 use cfd_bench::header;
 use cfd_core::prelude::*;
 use cfd_dsp::signal::awgn;
+use cfd_scenario::prelude::*;
 use tiled_soc::soc::TiledSoc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -58,6 +59,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|t| t.total())
             .collect::<Vec<_>>()
     );
+
+    header("Streaming decisions through one sensing session (configure once, decide many)");
+    let mut session = SensingSession::new(
+        CfdApplication::paper_with_blocks(1),
+        &Platform::paper(),
+        0.35,
+        2,
+    )?;
+    let observations: Vec<Vec<_>> = (0..8).map(|seed| awgn(256, 1.0, 10 + seed)).collect();
+    let batch_refs: Vec<&[_]> = observations.iter().map(Vec::as_slice).collect();
+    let batch = session.decide_batch(&batch_refs)?;
+    println!(
+        "decisions streamed        : {}   (platform configured {} time(s))",
+        session.decisions(),
+        session.configurations()
+    );
+    println!("blocks processed          : {}", batch.blocks);
+    println!(
+        "critical-path cycles      : {}   ({} per block)",
+        batch.critical_cycles,
+        batch.critical_cycles / batch.blocks as u64
+    );
+    println!("platform time for batch   : {:.2} us", batch.elapsed_us);
+
+    header("Sweep-engine cross-check: Pd/Pfa of the platform path vs the golden model");
+    let application = CfdApplication::new(32, 7, 32)?;
+    let scf_params = application.scf_params()?;
+    let scenario =
+        RadioScenario::preset("bpsk-awgn", application.samples_needed()).expect("built-in preset");
+    let sweep = SnrSweep::new(vec![5.0], 8)?;
+    let detectors = vec![
+        SweepDetectorFactory::tiled_soc(application, &Platform::paper(), 0.35, 1),
+        SweepDetectorFactory::Cyclostationary(cfd_dsp::detector::CyclostationaryDetector::new(
+            scf_params, 0.35, 1,
+        )?),
+    ];
+    let table = evaluate_sweep(&scenario, &sweep, &detectors)?;
+    print!("{}", table.render());
+    println!("(the SoC rows must equal the golden-model rows: same DSCF, same statistic)");
 
     header("Scalability: platform configurations (the paper's linear-scaling claim)");
     let study = EvaluationReport::scaling_study(&CfdApplication::paper(), &[1, 2, 4, 8, 16, 32])?;

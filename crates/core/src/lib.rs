@@ -52,5 +52,7 @@ pub mod prelude {
     pub use crate::error::CfdError;
     pub use crate::methodology::{MappingReport, Step1Report, Step2Report, TwoStepMapping};
     pub use crate::report::{EvaluationReport, EvaluationRow, Table1Report, Table1Row};
-    pub use crate::sensing::{energy_detector_baseline, SensingReport, SpectrumSensor};
+    pub use crate::sensing::{
+        energy_detector_baseline, SensingReport, SensingSession, SessionBatch, SpectrumSensor,
+    };
 }

@@ -144,6 +144,176 @@ impl SpectrumSensor {
     }
 }
 
+/// The platform cost of one batch streamed through a [`SensingSession`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionBatch {
+    /// One detector outcome per observation, in input order.
+    pub outcomes: Vec<DetectionOutcome>,
+    /// Integration steps processed over the whole batch.
+    pub blocks: usize,
+    /// Critical-path cycles accumulated over the whole batch.
+    pub critical_cycles: u64,
+    /// Platform metrics at the batch's average per-block rate.
+    pub metrics: PlatformMetrics,
+    /// Total platform time spent on the batch in µs.
+    pub elapsed_us: f64,
+}
+
+impl SessionBatch {
+    /// Convenience: the boolean decisions ("band occupied?") in input order.
+    pub fn decisions(&self) -> Vec<bool> {
+        self.outcomes
+            .iter()
+            .map(|o| o.decision.is_signal())
+            .collect()
+    }
+}
+
+/// A sensing session: the `TiledSoc` is configured **once** and batches of
+/// observations are then streamed through it.
+///
+/// This is the streaming counterpart of [`SpectrumSensor::sense`]. Where a
+/// naive sweep driver would rebuild (and thus reconfigure) the platform per
+/// decision, a session amortises the one-time sequencer configuration over
+/// every decision of its lifetime — the execution model the paper's
+/// hardware actually has, where the Montium programs are loaded once and
+/// samples stream through. [`SensingSession::configurations`] exposes the
+/// underlying counter so callers can assert the contract.
+#[derive(Debug)]
+pub struct SensingSession {
+    sensor: SpectrumSensor,
+    decisions: u64,
+    total_blocks: u64,
+    total_critical_cycles: u64,
+}
+
+impl SensingSession {
+    /// Opens a session over a freshly built sensor (one platform
+    /// configuration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpectrumSensor::new`] construction errors.
+    pub fn new(
+        application: CfdApplication,
+        platform: &Platform,
+        threshold: f64,
+        guard_offsets: usize,
+    ) -> Result<Self, CfdError> {
+        Ok(SensingSession::from_sensor(SpectrumSensor::new(
+            application,
+            platform,
+            threshold,
+            guard_offsets,
+        )?))
+    }
+
+    /// Wraps an existing sensor (its construction-time configuration counts
+    /// as this session's one configuration).
+    pub fn from_sensor(sensor: SpectrumSensor) -> Self {
+        SensingSession {
+            sensor,
+            decisions: 0,
+            total_blocks: 0,
+            total_critical_cycles: 0,
+        }
+    }
+
+    /// The sensor this session streams through.
+    pub fn sensor(&self) -> &SpectrumSensor {
+        &self.sensor
+    }
+
+    /// Number of samples each observation must provide.
+    pub fn samples_per_decision(&self) -> usize {
+        self.sensor.samples_per_decision()
+    }
+
+    /// Decisions taken over the session's lifetime.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// How many times the underlying platform has been configured. Stays at
+    /// 1 for the whole session regardless of how many batches stream
+    /// through — the invariant the batched sweep engine relies on.
+    pub fn configurations(&self) -> u64 {
+        self.sensor.soc.configurations()
+    }
+
+    /// One decision plus its session accounting — the single place where
+    /// counters are updated, shared by [`SensingSession::decide`] and
+    /// [`SensingSession::decide_batch`]. Returns the outcome and the
+    /// critical-path cycles of this decision.
+    fn decide_one(&mut self, samples: &[Cplx]) -> Result<(DetectionOutcome, u64), CfdError> {
+        let num_blocks = self.sensor.application.num_blocks;
+        self.sensor.soc.reset();
+        let run = self.sensor.soc.run(samples, num_blocks)?;
+        let cycles = run.max_tile_cycles();
+        self.decisions += 1;
+        self.total_blocks += num_blocks as u64;
+        self.total_critical_cycles += cycles;
+        Ok((self.sensor.detector.detect_from_scf(&run.scf), cycles))
+    }
+
+    /// Streams one batch of observations through the platform and returns
+    /// the outcomes plus the platform metrics accumulated over the batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors (e.g. too few samples). On a mid-batch
+    /// failure the earlier observations' outcomes are discarded but stay
+    /// counted in the session totals (they were processed); the session
+    /// remains usable.
+    pub fn decide_batch(&mut self, observations: &[&[Cplx]]) -> Result<SessionBatch, CfdError> {
+        let mut outcomes = Vec::with_capacity(observations.len());
+        let mut critical_cycles = 0u64;
+        for &samples in observations {
+            let (outcome, cycles) = self.decide_one(samples)?;
+            outcomes.push(outcome);
+            critical_cycles += cycles;
+        }
+        let blocks = observations.len() * self.sensor.application.num_blocks;
+        let config = self.sensor.soc.config();
+        let cycles_per_block = critical_cycles.checked_div(blocks as u64).unwrap_or(0);
+        let metrics =
+            PlatformMetrics::new(config, cycles_per_block, self.sensor.application.fft_len);
+        Ok(SessionBatch {
+            outcomes,
+            blocks,
+            critical_cycles,
+            // Exact, not `time_per_block_us * blocks`: the per-block rate
+            // in `metrics` is integer-truncated, the total must not be.
+            elapsed_us: critical_cycles as f64 / config.tile.clock_mhz,
+            metrics,
+        })
+    }
+
+    /// Takes a single decision (a one-observation batch without the report
+    /// allocation) — the unit the sweep engine's work queue dispatches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    pub fn decide(&mut self, samples: &[Cplx]) -> Result<DetectionOutcome, CfdError> {
+        Ok(self.decide_one(samples)?.0)
+    }
+
+    /// Platform metrics accumulated over the whole session so far (average
+    /// per-block rate over every batch streamed).
+    pub fn session_metrics(&self) -> PlatformMetrics {
+        let cycles_per_block = self
+            .total_critical_cycles
+            .checked_div(self.total_blocks)
+            .unwrap_or(0);
+        PlatformMetrics::new(
+            self.sensor.soc.config(),
+            cycles_per_block,
+            self.sensor.application.fft_len,
+        )
+    }
+}
+
 /// Runs the energy-detector baseline over the same observation, calibrated
 /// for the given (assumed) noise power and false-alarm target.
 ///
@@ -249,6 +419,69 @@ mod tests {
             "energy detector should false-alarm"
         );
         assert!(!cfd.occupied(), "CFD should not false-alarm");
+    }
+
+    #[test]
+    fn session_configures_once_and_streams_batches() {
+        let mut session = SensingSession::from_sensor(sensor());
+        let n = session.samples_per_decision();
+        let observations: Vec<Vec<Cplx>> = (0..6)
+            .map(|i| observation(i % 2 == 0, 5.0, n, 100 + i as u64))
+            .collect();
+        let refs: Vec<&[Cplx]> = observations.iter().map(Vec::as_slice).collect();
+        // Two batches through one session: still exactly one configuration.
+        let first = session.decide_batch(&refs[..4]).unwrap();
+        let second = session.decide_batch(&refs[4..]).unwrap();
+        assert_eq!(session.configurations(), 1);
+        assert_eq!(session.decisions(), 6);
+        assert_eq!(first.outcomes.len(), 4);
+        assert_eq!(second.outcomes.len(), 2);
+        assert_eq!(first.blocks, 4 * 64);
+        assert!(first.critical_cycles > 0);
+        assert!(first.elapsed_us > 0.0);
+        assert!(session.session_metrics().time_per_block_us > 0.0);
+        // The decision shorthand mirrors the outcomes one-to-one.
+        let expected: Vec<bool> = first
+            .outcomes
+            .iter()
+            .map(|o| o.decision.is_signal())
+            .collect();
+        assert_eq!(first.decisions(), expected);
+    }
+
+    #[test]
+    fn session_decisions_match_the_sensor_path() {
+        // A batch through the session must reproduce per-observation
+        // `SpectrumSensor::decide` exactly: batching changes the schedule,
+        // not the arithmetic.
+        let mut session = SensingSession::from_sensor(sensor());
+        let mut reference = sensor();
+        let n = session.samples_per_decision();
+        let observations: Vec<Vec<Cplx>> = (0..4)
+            .map(|i| observation(i % 2 == 0, 2.0, n, 31 + i as u64))
+            .collect();
+        let refs: Vec<&[Cplx]> = observations.iter().map(Vec::as_slice).collect();
+        let batch = session.decide_batch(&refs).unwrap();
+        for (obs, outcome) in observations.iter().zip(&batch.outcomes) {
+            assert_eq!(&reference.decide(obs).unwrap(), outcome);
+        }
+        // Single decisions keep the session accounting consistent too.
+        let single = session.decide(&observations[0]).unwrap();
+        assert_eq!(single, batch.outcomes[0]);
+        assert_eq!(session.decisions(), 5);
+        assert_eq!(session.configurations(), 1);
+    }
+
+    #[test]
+    fn session_survives_a_failed_batch() {
+        let mut session = SensingSession::from_sensor(sensor());
+        let n = session.samples_per_decision();
+        let short = observation(true, 5.0, 100, 3);
+        assert!(session.decide_batch(&[&short]).is_err());
+        let good = observation(true, 5.0, n, 3);
+        let batch = session.decide_batch(&[good.as_slice()]).unwrap();
+        assert_eq!(batch.outcomes.len(), 1);
+        assert_eq!(session.configurations(), 1);
     }
 
     #[test]

@@ -47,6 +47,39 @@ pub struct DetectionOutcome {
     pub decision: Decision,
 }
 
+/// A recipe for building independent detector replicas.
+///
+/// Detectors are stateful objects (thresholds, calibration, and — for the
+/// platform-backed paths — whole simulated SoCs), so a single instance
+/// forces every decision through one `&mut` borrow and serialises
+/// Monte-Carlo sweeps. A factory is the shareable description from which
+/// each worker thread builds its own replica; replicas built from the same
+/// factory must produce identical decisions for identical observations, so
+/// any partition of a trial set over replicas yields the same counts as a
+/// single detector run serially.
+pub trait DetectorFactory {
+    /// The detector type this factory builds.
+    type Built: Detector;
+
+    /// Builds one independent replica.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors of the underlying detector.
+    fn build_detector(&self) -> Result<Self::Built, DspError>;
+}
+
+/// Every cloneable detector is its own factory: a clone is a fully
+/// independent replica because the golden-model detectors carry only
+/// configuration, no per-observation state.
+impl<D: Detector + Clone> DetectorFactory for D {
+    type Built = D;
+
+    fn build_detector(&self) -> Result<D, DspError> {
+        Ok(self.clone())
+    }
+}
+
 /// Trait implemented by spectrum-sensing detectors.
 pub trait Detector {
     /// Computes the detector's scalar test statistic for an observation.
@@ -465,5 +498,24 @@ mod tests {
     fn decision_helpers() {
         assert!(Decision::SignalPresent.is_signal());
         assert!(!Decision::NoiseOnly.is_signal());
+    }
+
+    #[test]
+    fn cloneable_detectors_are_their_own_factories() {
+        let params = ScfParams::new(32, 7, 32).unwrap();
+        let cfd = CyclostationaryDetector::new(params.clone(), 0.35, 1).unwrap();
+        let energy = EnergyDetector::new(1.0, 0.05, params.samples_needed()).unwrap();
+        let busy = busy_observation(3.0, params.samples_needed(), 5);
+        // Replicas decide identically to the factory instance.
+        let cfd_replica = cfd.build_detector().unwrap();
+        let energy_replica = energy.build_detector().unwrap();
+        assert_eq!(
+            cfd.detect(&busy).unwrap(),
+            cfd_replica.detect(&busy).unwrap()
+        );
+        assert_eq!(
+            energy.detect(&busy).unwrap(),
+            energy_replica.detect(&busy).unwrap()
+        );
     }
 }

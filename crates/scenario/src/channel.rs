@@ -11,6 +11,8 @@ use crate::error::ScenarioError;
 use cfd_dsp::complex::Cplx;
 use cfd_dsp::fixed::Q15;
 use cfd_dsp::signal::{awgn, frequency_shift, normalise_power, signal_power};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// One impairment in a channel pipeline.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -52,6 +54,20 @@ pub enum ChannelStage {
     Quantize {
         /// The converter's full-scale amplitude.
         full_scale: f64,
+    },
+    /// Bernoulli–Gaussian impulsive noise: each sample independently
+    /// receives a strong complex-Gaussian impulse with probability
+    /// `probability` (the classic model for ignition/switching noise in
+    /// the TV bands cognitive radios scavenge). The average added power is
+    /// `probability * impulse_power`, but it arrives in rare, huge bursts —
+    /// exactly the interference that inflates an energy statistic while
+    /// leaving cyclic features almost untouched.
+    ImpulsiveNoise {
+        /// Per-sample impulse probability in `[0, 1]`.
+        probability: f64,
+        /// Power (complex variance) of one impulse; typically 10–30 dB
+        /// above the thermal floor.
+        impulse_power: f64,
     },
 }
 
@@ -120,6 +136,24 @@ impl ChannelStage {
                 }
                 Ok(())
             }
+            ChannelStage::ImpulsiveNoise {
+                probability,
+                impulse_power,
+            } => {
+                if !(*probability >= 0.0 && *probability <= 1.0) {
+                    return Err(ScenarioError::InvalidParameter {
+                        name: "probability",
+                        message: format!("must be in [0, 1], got {probability}"),
+                    });
+                }
+                if !(impulse_power.is_finite() && *impulse_power > 0.0) {
+                    return Err(ScenarioError::InvalidParameter {
+                        name: "impulse_power",
+                        message: format!("must be positive and finite, got {impulse_power}"),
+                    });
+                }
+                Ok(())
+            }
         }
     }
 
@@ -176,6 +210,25 @@ impl ChannelStage {
                     Cplx::new(q(x.re), q(x.im))
                 })
                 .collect(),
+            ChannelStage::ImpulsiveNoise {
+                probability,
+                impulse_power,
+            } => {
+                // Independent sub-streams for the Bernoulli mask and the
+                // impulse amplitudes, both derived from the stage seed.
+                // Amplitudes are drawn only for the ~probability fraction
+                // of samples that are actually hit.
+                let mut mask = StdRng::seed_from_u64(mix_seed(seed, 0xBE52_0011));
+                let hits: Vec<usize> = (0..samples.len())
+                    .filter(|_| mask.gen_bool(*probability))
+                    .collect();
+                let impulses = awgn(hits.len(), *impulse_power, mix_seed(seed, 0x1A4B_5C6D));
+                let mut out = samples;
+                for (&t, &impulse) in hits.iter().zip(impulses.iter()) {
+                    out[t] += impulse;
+                }
+                out
+            }
         }
     }
 }
@@ -397,6 +450,81 @@ mod tests {
         // Out-of-range values clip to full scale.
         assert!(out[1].re <= 2.0 && out[1].re > 1.99);
         assert!(out[1].im >= -2.0 && out[1].im < -1.99);
+    }
+
+    #[test]
+    fn impulsive_noise_adds_rare_strong_bursts() {
+        let floor = vec![Cplx::ZERO; 65_536];
+        let pipeline = ChannelPipeline::new(vec![
+            ChannelStage::Awgn {
+                snr_db: 0.0,
+                noise_power: 1.0,
+            },
+            ChannelStage::ImpulsiveNoise {
+                probability: 0.02,
+                impulse_power: 100.0,
+            },
+        ]);
+        let noisy = pipeline.apply(floor, 11).unwrap();
+        // Average power: 1.0 thermal + 0.02 * 100 impulsive = 3.0.
+        let p = signal_power(&noisy);
+        assert!((p - 3.0).abs() < 0.4, "p = {p}");
+        // The power arrives in bursts: only a few percent of the samples
+        // exceed 5x the thermal floor's RMS.
+        let bursts = noisy.iter().filter(|x| x.abs() > 5.0).count();
+        let fraction = bursts as f64 / noisy.len() as f64;
+        assert!(
+            fraction > 0.005 && fraction < 0.04,
+            "burst fraction = {fraction}"
+        );
+        // Deterministic per seed.
+        let again = ChannelPipeline::new(vec![
+            ChannelStage::Awgn {
+                snr_db: 0.0,
+                noise_power: 1.0,
+            },
+            ChannelStage::ImpulsiveNoise {
+                probability: 0.02,
+                impulse_power: 100.0,
+            },
+        ])
+        .apply(vec![Cplx::ZERO; 65_536], 11)
+        .unwrap();
+        assert_eq!(noisy, again);
+    }
+
+    #[test]
+    fn impulsive_noise_validation() {
+        assert!(ChannelStage::ImpulsiveNoise {
+            probability: -0.1,
+            impulse_power: 10.0
+        }
+        .validate()
+        .is_err());
+        assert!(ChannelStage::ImpulsiveNoise {
+            probability: 1.5,
+            impulse_power: 10.0
+        }
+        .validate()
+        .is_err());
+        assert!(ChannelStage::ImpulsiveNoise {
+            probability: 0.1,
+            impulse_power: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(ChannelStage::ImpulsiveNoise {
+            probability: 0.1,
+            impulse_power: f64::NAN
+        }
+        .validate()
+        .is_err());
+        assert!(ChannelStage::ImpulsiveNoise {
+            probability: 0.1,
+            impulse_power: 10.0
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]

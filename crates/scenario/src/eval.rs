@@ -1,36 +1,59 @@
 //! Detector evaluation over SNR sweeps: Monte-Carlo Pd/Pfa estimation and
-//! ROC tables.
+//! ROC tables, executed by a parallel batched sweep engine.
 //!
 //! The harness runs any mix of the three detector paths of this repository
 //! — the [`EnergyDetector`] baseline, the golden-model
 //! [`CyclostationaryDetector`], and the full tiled-SoC sensing path
-//! ([`SpectrumSensor`], the paper's actual platform) — over a
+//! (a [`SensingSession`] over the paper's platform) — over a
 //! [`RadioScenario`] at each SNR of a sweep, and tabulates the detection
 //! probability `Pd` (decide "occupied" under H1) and false-alarm
 //! probability `Pfa` (decide "occupied" under H0) per detector and SNR.
+//!
+//! ## Execution model
+//!
+//! Detectors are stateful (the SoC path owns a whole simulated platform),
+//! so the sweep is described by [`SweepDetectorFactory`] values rather than
+//! detector instances: every worker thread builds its own replica of each
+//! detector once, the SoC replicas open a [`SensingSession`] (one platform
+//! configuration per session, however many decisions stream through), and
+//! a work queue of `(snr_point, trial-chunk)` cells is distributed over the
+//! workers via crossbeam channels inside a [`std::thread::scope`].
+//!
+//! Determinism is preserved under any scheduling: observations are seeded
+//! by trial index (common random numbers), decisions are independent
+//! booleans, and the per-cell detection counts are merged by integer
+//! addition — so [`evaluate_sweep`] is bit-identical to
+//! [`evaluate_sweep_serial`] for every worker count.
 
 use crate::channel::mix_seed;
 use crate::error::ScenarioError;
 use crate::scenario::{Hypothesis, RadioScenario};
-use cfd_core::sensing::SpectrumSensor;
+use cfd_core::app::{CfdApplication, Platform};
+use cfd_core::sensing::SensingSession;
 use cfd_dsp::complex::Cplx;
-use cfd_dsp::detector::{feature_statistic, CyclostationaryDetector, Detector, EnergyDetector};
+use cfd_dsp::detector::{
+    feature_statistic, CyclostationaryDetector, Detector, DetectorFactory, EnergyDetector,
+};
 use cfd_dsp::scf::{dscf_reference, ScfParams};
 use cfd_dsp::signal::awgn;
+use std::collections::HashMap;
 
-/// A detector that can be driven by the sweep harness.
+/// A detector replica that can be driven by the sweep engine.
 ///
 /// The three variants cover the repository's detection paths end-to-end;
-/// the tiled-SoC variant runs every observation through the cycle-level
-/// platform simulation of `tiled-soc`.
+/// the tiled-SoC variant streams every observation through the cycle-level
+/// platform simulation of `tiled-soc` inside one [`SensingSession`].
+/// Replicas are built from a [`SweepDetectorFactory`]; each worker thread
+/// owns its own set.
 #[derive(Debug)]
 pub enum SweepDetector {
     /// The energy-detector baseline of Cabric et al. [7].
     Energy(EnergyDetector),
     /// The golden-model cyclostationary feature detector.
     Cyclostationary(CyclostationaryDetector),
-    /// The full sensing path on the simulated tiled SoC.
-    TiledSoc(Box<SpectrumSensor>),
+    /// The full sensing path on the simulated tiled SoC, configured once
+    /// for the lifetime of the replica.
+    TiledSoc(Box<SensingSession>),
 }
 
 impl SweepDetector {
@@ -52,7 +75,116 @@ impl SweepDetector {
         Ok(match self {
             SweepDetector::Energy(d) => d.detect(samples)?.decision.is_signal(),
             SweepDetector::Cyclostationary(d) => d.detect(samples)?.decision.is_signal(),
-            SweepDetector::TiledSoc(sensor) => sensor.decide(samples)?.decision.is_signal(),
+            SweepDetector::TiledSoc(session) => session.decide(samples)?.decision.is_signal(),
+        })
+    }
+
+    /// Runs one decision per observation, in order. The SoC path streams
+    /// the whole batch through its session (no per-decision platform
+    /// rebuild); the golden-model detectors decide observation by
+    /// observation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector and platform errors.
+    pub fn decide_batch(&mut self, observations: &[&[Cplx]]) -> Result<Vec<bool>, ScenarioError> {
+        match self {
+            SweepDetector::TiledSoc(session) => Ok(session.decide_batch(observations)?.decisions()),
+            _ => observations
+                .iter()
+                .map(|samples| self.decide(samples))
+                .collect(),
+        }
+    }
+
+    /// How many times this replica's platform has been configured (`None`
+    /// for the platform-less golden-model detectors). Stays at 1 for the
+    /// lifetime of a SoC replica — the sweep engine configures per session,
+    /// not per decision.
+    pub fn configurations(&self) -> Option<u64> {
+        match self {
+            SweepDetector::TiledSoc(session) => Some(session.configurations()),
+            _ => None,
+        }
+    }
+}
+
+/// A shareable recipe from which every worker thread builds its own
+/// [`SweepDetector`] replica.
+///
+/// The golden-model variants hold a calibrated detector and replicate it
+/// through [`DetectorFactory`] (a clone is a full replica: those detectors
+/// carry only configuration). The SoC variant holds the application and
+/// platform description and opens a fresh [`SensingSession`] per replica —
+/// one platform configuration per worker, amortised over every decision
+/// that worker takes.
+#[derive(Debug, Clone)]
+pub enum SweepDetectorFactory {
+    /// Replicates a calibrated energy detector.
+    Energy(EnergyDetector),
+    /// Replicates a calibrated cyclostationary feature detector.
+    Cyclostationary(CyclostationaryDetector),
+    /// Opens a [`SensingSession`] over a freshly built tiled SoC.
+    TiledSoc {
+        /// The DSCF application to map onto the platform.
+        application: CfdApplication,
+        /// The platform to simulate.
+        platform: Platform,
+        /// Detector threshold on the normalised feature statistic.
+        threshold: f64,
+        /// Guard zone half-width around `a = 0`.
+        guard_offsets: usize,
+    },
+}
+
+impl SweepDetectorFactory {
+    /// Convenience constructor for the SoC variant.
+    pub fn tiled_soc(
+        application: CfdApplication,
+        platform: &Platform,
+        threshold: f64,
+        guard_offsets: usize,
+    ) -> Self {
+        SweepDetectorFactory::TiledSoc {
+            application,
+            platform: platform.clone(),
+            threshold,
+            guard_offsets,
+        }
+    }
+
+    /// Stable label used in result tables (matches
+    /// [`SweepDetector::label`] of the built replica).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SweepDetectorFactory::Energy(_) => "energy",
+            SweepDetectorFactory::Cyclostationary(_) => "cfd",
+            SweepDetectorFactory::TiledSoc { .. } => "cfd-soc",
+        }
+    }
+
+    /// Builds one independent replica.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector and platform construction errors.
+    pub fn build(&self) -> Result<SweepDetector, ScenarioError> {
+        Ok(match self {
+            SweepDetectorFactory::Energy(d) => SweepDetector::Energy(d.build_detector()?),
+            SweepDetectorFactory::Cyclostationary(d) => {
+                SweepDetector::Cyclostationary(d.build_detector()?)
+            }
+            SweepDetectorFactory::TiledSoc {
+                application,
+                platform,
+                threshold,
+                guard_offsets,
+            } => SweepDetector::TiledSoc(Box::new(SensingSession::new(
+                application.clone(),
+                platform,
+                *threshold,
+                *guard_offsets,
+            )?)),
         })
     }
 }
@@ -207,9 +339,89 @@ impl RocTable {
         }
         out
     }
+
+    /// Renders the table as a JSON document
+    /// (`{"rows":[{"snr_db":…,"detector":…,"pd":…,"pfa":…,"trials":…},…]}`),
+    /// for machine-readable sweep results (e.g. `BENCH_*.json` trajectory
+    /// tracking). The vendored `serde` is a marker-only stand-in, so the
+    /// encoding is done here; the derives keep the types drop-in ready for
+    /// the real `serde_json` once the build environment gains network
+    /// access.
+    pub fn to_json(&self) -> String {
+        fn number(value: f64) -> String {
+            if value.is_finite() {
+                // `Display` for finite f64 is shortest-roundtrip decimal,
+                // which is valid JSON.
+                format!("{value}")
+            } else {
+                "null".into()
+            }
+        }
+        fn escape(text: &str) -> String {
+            let mut out = String::with_capacity(text.len());
+            for c in text.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                format!(
+                    "{{\"snr_db\":{},\"detector\":\"{}\",\"pd\":{},\"pfa\":{},\"trials\":{}}}",
+                    number(row.snr_db),
+                    escape(&row.detector),
+                    number(row.pd),
+                    number(row.pfa),
+                    row.trials
+                )
+            })
+            .collect();
+        format!("{{\"rows\":[{}]}}", rows.join(","))
+    }
 }
 
-/// Runs every detector over every SNR point of the sweep.
+/// One unit of sweep work: a chunk of consecutive trials under one
+/// hypothesis. `point: None` is the shared H0 (vacant-band) pass,
+/// `point: Some(i)` the H1 pass at `sweep.snr_points_db[i]`.
+#[derive(Debug, Clone, Copy)]
+struct SweepCell {
+    point: Option<usize>,
+    first_trial: usize,
+    trials: usize,
+}
+
+impl SweepCell {
+    /// Deterministic ordering key, used to pick a stable error when several
+    /// cells fail (category 1; category 0 is reserved for replica-build
+    /// failures, which the serial path would hit first).
+    fn order(&self) -> (usize, usize, usize) {
+        (1, self.point.map_or(0, |p| p + 1), self.first_trial)
+    }
+}
+
+/// What a worker sends back per cell (or on failure).
+enum WorkerMessage {
+    /// Positives per detector over the cell's trials.
+    Counts {
+        cell: SweepCell,
+        positives: Vec<usize>,
+    },
+    /// A replica-build or evaluation failure.
+    Failure {
+        order: (usize, usize, usize),
+        error: ScenarioError,
+    },
+}
+
+/// Runs every detector over every SNR point of the sweep, in parallel over
+/// all available cores.
 ///
 /// Per SNR point, `sweep.trials` H1 observations are generated via
 /// [`RadioScenario::observe`] (common random numbers across SNR points) and
@@ -218,64 +430,262 @@ impl RocTable {
 /// licensed-user signal — so each detector's false-alarm count is measured
 /// once and shared by every SNR row, halving the sweep's detector work.
 ///
+/// The result is **bit-identical** to [`evaluate_sweep_serial`] for any
+/// worker count: trials are seeded by index and merged by integer counting,
+/// so worker scheduling cannot change a single row.
+///
 /// # Errors
 ///
-/// Propagates observation and detector errors.
+/// Propagates observation, detector-construction and detector errors.
 pub fn evaluate_sweep(
     scenario: &RadioScenario,
     sweep: &SnrSweep,
-    detectors: &mut [SweepDetector],
+    detectors: &[SweepDetectorFactory],
+) -> Result<RocTable, ScenarioError> {
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    evaluate_sweep_with_workers(scenario, sweep, detectors, workers)
+}
+
+/// [`evaluate_sweep`] with an explicit worker count (1 runs the serial
+/// path). The table is the same for every worker count.
+///
+/// # Errors
+///
+/// Propagates observation, detector-construction and detector errors.
+pub fn evaluate_sweep_with_workers(
+    scenario: &RadioScenario,
+    sweep: &SnrSweep,
+    detectors: &[SweepDetectorFactory],
+    workers: usize,
+) -> Result<RocTable, ScenarioError> {
+    if workers <= 1 {
+        return evaluate_sweep_serial(scenario, sweep, detectors);
+    }
+    let labels = sweep_labels(detectors);
+    let points = sweep.snr_points_db.len();
+
+    // Chunk trials so each worker streams a meaningful batch through its
+    // session per queue pop, while keeping enough cells for load balancing.
+    let chunk = sweep.trials.div_ceil(workers * 4).max(1);
+    let scenarios_at: Vec<RadioScenario> = sweep
+        .snr_points_db
+        .iter()
+        .map(|&snr| scenario.at_snr(snr))
+        .collect();
+
+    let (cell_tx, cell_rx) = crossbeam::channel::unbounded::<SweepCell>();
+    let (out_tx, out_rx) = crossbeam::channel::unbounded::<WorkerMessage>();
+    for point in std::iter::once(None).chain((0..points).map(Some)) {
+        let mut first_trial = 0;
+        while first_trial < sweep.trials {
+            let trials = chunk.min(sweep.trials - first_trial);
+            cell_tx
+                .send(SweepCell {
+                    point,
+                    first_trial,
+                    trials,
+                })
+                .expect("receiver alive");
+            first_trial += trials;
+        }
+    }
+    drop(cell_tx);
+    // Replica construction is not free (a SoC replica is a whole simulated
+    // platform), so never spawn more workers than there are cells to
+    // process.
+    let total_cells = (points + 1) * sweep.trials.div_ceil(chunk);
+    let workers = workers.min(total_cells);
+
+    let mut false_alarms = vec![0usize; detectors.len()];
+    let mut detections = vec![vec![0usize; detectors.len()]; points];
+    let mut failure: Option<((usize, usize, usize), ScenarioError)> = None;
+    let failed = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let cell_rx = cell_rx.clone();
+            let out_tx = out_tx.clone();
+            let scenarios_at = &scenarios_at;
+            let failed = &failed;
+            scope.spawn(move || {
+                let mut replicas = match detectors
+                    .iter()
+                    .map(SweepDetectorFactory::build)
+                    .collect::<Result<Vec<_>, _>>()
+                {
+                    Ok(replicas) => replicas,
+                    Err(error) => {
+                        failed.store(true, std::sync::atomic::Ordering::Relaxed);
+                        let _ = out_tx.send(WorkerMessage::Failure {
+                            order: (0, 0, 0),
+                            error,
+                        });
+                        return;
+                    }
+                };
+                while let Ok(cell) = cell_rx.recv() {
+                    // The sweep already failed: drain the queue without
+                    // paying for cells whose counts would be discarded.
+                    if failed.load(std::sync::atomic::Ordering::Relaxed) {
+                        continue;
+                    }
+                    let message = match evaluate_cell(scenario, scenarios_at, &mut replicas, cell) {
+                        Ok(positives) => WorkerMessage::Counts { cell, positives },
+                        Err(error) => {
+                            failed.store(true, std::sync::atomic::Ordering::Relaxed);
+                            WorkerMessage::Failure {
+                                order: cell.order(),
+                                error,
+                            }
+                        }
+                    };
+                    if out_tx.send(message).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(out_tx);
+        // Merge as results arrive. Counts are integers and addition is
+        // commutative, so the merged table does not depend on arrival
+        // order. Among the failures observed before the early abort, the
+        // one with the smallest cell order is reported (the successful
+        // table is always deterministic; the identity of the reported
+        // error may vary when several cells fail close together).
+        while let Ok(message) = out_rx.recv() {
+            match message {
+                WorkerMessage::Counts { cell, positives } => {
+                    let target = match cell.point {
+                        None => &mut false_alarms,
+                        Some(p) => &mut detections[p],
+                    };
+                    for (count, positive) in target.iter_mut().zip(positives) {
+                        *count += positive;
+                    }
+                }
+                WorkerMessage::Failure { order, error } => {
+                    if failure.as_ref().is_none_or(|(held, _)| order < *held) {
+                        failure = Some((order, error));
+                    }
+                }
+            }
+        }
+    });
+    if let Some((_, error)) = failure {
+        return Err(error);
+    }
+    Ok(assemble_table(sweep, &labels, &false_alarms, &detections))
+}
+
+/// The single-threaded reference implementation of the sweep. Kept public
+/// so the equivalence property test (and anyone who wants a zero-thread
+/// run) can compare against it; produces the same table as
+/// [`evaluate_sweep`], bit for bit.
+///
+/// # Errors
+///
+/// Propagates observation, detector-construction and detector errors.
+pub fn evaluate_sweep_serial(
+    scenario: &RadioScenario,
+    sweep: &SnrSweep,
+    detectors: &[SweepDetectorFactory],
 ) -> Result<RocTable, ScenarioError> {
     let labels = sweep_labels(detectors);
+    let mut replicas = detectors
+        .iter()
+        .map(SweepDetectorFactory::build)
+        .collect::<Result<Vec<_>, _>>()?;
     let mut false_alarms = vec![0usize; detectors.len()];
     for trial in 0..sweep.trials {
         let h0 = scenario.observe(Hypothesis::Vacant, trial)?;
-        for (index, detector) in detectors.iter_mut().enumerate() {
+        for (index, detector) in replicas.iter_mut().enumerate() {
             if detector.decide(&h0.samples)? {
                 false_alarms[index] += 1;
             }
         }
     }
-    let mut rows = Vec::with_capacity(sweep.snr_points_db.len() * detectors.len());
-    for &snr_db in &sweep.snr_points_db {
+    let mut detections = vec![vec![0usize; detectors.len()]; sweep.snr_points_db.len()];
+    for (point, &snr_db) in sweep.snr_points_db.iter().enumerate() {
         let at_snr = scenario.at_snr(snr_db);
-        let mut detections = vec![0usize; detectors.len()];
         for trial in 0..sweep.trials {
             let h1 = at_snr.observe(Hypothesis::Occupied, trial)?;
-            for (index, detector) in detectors.iter_mut().enumerate() {
+            for (index, detector) in replicas.iter_mut().enumerate() {
                 if detector.decide(&h1.samples)? {
-                    detections[index] += 1;
+                    detections[point][index] += 1;
                 }
             }
         }
+    }
+    Ok(assemble_table(sweep, &labels, &false_alarms, &detections))
+}
+
+/// Evaluates one work cell on a worker's replicas: generates the cell's
+/// observations and batches them through every detector, returning the
+/// positive-decision count per detector.
+fn evaluate_cell(
+    scenario: &RadioScenario,
+    scenarios_at: &[RadioScenario],
+    replicas: &mut [SweepDetector],
+    cell: SweepCell,
+) -> Result<Vec<usize>, ScenarioError> {
+    let (source, hypothesis) = match cell.point {
+        None => (scenario, Hypothesis::Vacant),
+        Some(p) => (&scenarios_at[p], Hypothesis::Occupied),
+    };
+    let observations = (cell.first_trial..cell.first_trial + cell.trials)
+        .map(|trial| source.observe(hypothesis, trial))
+        .collect::<Result<Vec<_>, _>>()?;
+    let batch: Vec<&[Cplx]> = observations.iter().map(|o| o.samples.as_slice()).collect();
+    replicas
+        .iter_mut()
+        .map(|detector| {
+            Ok(detector
+                .decide_batch(&batch)?
+                .into_iter()
+                .filter(|&occupied| occupied)
+                .count())
+        })
+        .collect()
+}
+
+/// Builds the final table from merged counts, in deterministic
+/// `(snr point, detector)` order.
+fn assemble_table(
+    sweep: &SnrSweep,
+    labels: &[String],
+    false_alarms: &[usize],
+    detections: &[Vec<usize>],
+) -> RocTable {
+    let mut rows = Vec::with_capacity(sweep.snr_points_db.len() * labels.len());
+    for (point, &snr_db) in sweep.snr_points_db.iter().enumerate() {
         for (index, label) in labels.iter().enumerate() {
             rows.push(RocRow {
                 snr_db,
                 detector: label.clone(),
-                pd: detections[index] as f64 / sweep.trials as f64,
+                pd: detections[point][index] as f64 / sweep.trials as f64,
                 pfa: false_alarms[index] as f64 / sweep.trials as f64,
                 trials: sweep.trials,
             });
         }
     }
-    Ok(RocTable { rows })
+    RocTable { rows }
 }
 
-/// Row labels for a detector list: the plain [`SweepDetector::label`] when
-/// unique, `label#index` when several detectors of the same kind run in one
-/// sweep — otherwise [`RocTable::row`] and [`RocTable::pd_series`] would
-/// silently merge their rows.
-fn sweep_labels(detectors: &[SweepDetector]) -> Vec<String> {
+/// Row labels for a detector list: the plain [`SweepDetectorFactory::label`]
+/// when unique, `label#index` when several detectors of the same kind run in
+/// one sweep — otherwise [`RocTable::row`] and [`RocTable::pd_series`] would
+/// silently merge their rows. A single counting pass replaces the old
+/// per-detector duplicate scan.
+fn sweep_labels(detectors: &[SweepDetectorFactory]) -> Vec<String> {
+    let mut counts: HashMap<&'static str, usize> = HashMap::new();
+    for detector in detectors {
+        *counts.entry(detector.label()).or_insert(0) += 1;
+    }
     detectors
         .iter()
         .enumerate()
         .map(|(index, detector)| {
             let base = detector.label();
-            let duplicated = detectors
-                .iter()
-                .enumerate()
-                .any(|(other, d)| other != index && d.label() == base);
-            if duplicated {
+            if counts[base] > 1 {
                 format!("{base}#{index}")
             } else {
                 base.to_string()
@@ -358,9 +768,18 @@ mod tests {
         .with_seed(5)
     }
 
-    fn cfd_detector(threshold: f64) -> SweepDetector {
-        SweepDetector::Cyclostationary(
+    fn cfd_factory(threshold: f64) -> SweepDetectorFactory {
+        SweepDetectorFactory::Cyclostationary(
             CyclostationaryDetector::new(ScfParams::new(32, 7, 32).unwrap(), threshold, 1).unwrap(),
+        )
+    }
+
+    fn soc_factory(threshold: f64) -> SweepDetectorFactory {
+        SweepDetectorFactory::tiled_soc(
+            CfdApplication::new(32, 7, 32).unwrap(),
+            &Platform::paper(),
+            threshold,
+            1,
         )
     }
 
@@ -379,16 +798,61 @@ mod tests {
         let scenario = small_scenario();
         let len = scenario.observation_len;
         let sweep = SnrSweep::new(vec![-15.0, 0.0, 10.0], 20).unwrap();
-        let mut detectors = vec![SweepDetector::Energy(
+        let detectors = vec![SweepDetectorFactory::Energy(
             EnergyDetector::new(1.0, 0.05, len).unwrap(),
         )];
-        let table = evaluate_sweep(&scenario, &sweep, &mut detectors).unwrap();
+        let table = evaluate_sweep(&scenario, &sweep, &detectors).unwrap();
         let series = table.pd_series("energy");
         assert_eq!(series.len(), 3);
         assert!(series[0].1 <= series[1].1 && series[1].1 <= series[2].1);
         assert!(series[2].1 > 0.95, "Pd at 10 dB = {}", series[2].1);
         let row = table.row("energy", -15.0).unwrap();
         assert!(row.pfa < 0.3, "Pfa = {}", row.pfa);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let scenario = small_scenario();
+        let len = scenario.observation_len;
+        let sweep = SnrSweep::new(vec![-10.0, 0.0, 10.0], 9).unwrap();
+        let detectors = vec![
+            SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.1, len).unwrap()),
+            cfd_factory(0.35),
+        ];
+        let serial = evaluate_sweep_serial(&scenario, &sweep, &detectors).unwrap();
+        for workers in [2usize, 3, 7] {
+            let parallel =
+                evaluate_sweep_with_workers(&scenario, &sweep, &detectors, workers).unwrap();
+            assert_eq!(serial, parallel, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn soc_replicas_configure_once_per_session() {
+        // The sweep engine's SoC path must configure the platform once per
+        // replica (session), no matter how many decisions stream through.
+        let scenario = small_scenario();
+        let mut replica = soc_factory(0.35).build().unwrap();
+        let observations: Vec<_> = (0..6)
+            .map(|trial| {
+                scenario
+                    .observe(
+                        if trial % 2 == 0 {
+                            Hypothesis::Occupied
+                        } else {
+                            Hypothesis::Vacant
+                        },
+                        trial,
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let batch: Vec<&[Cplx]> = observations.iter().map(|o| o.samples.as_slice()).collect();
+        replica.decide_batch(&batch[..3]).unwrap();
+        replica.decide_batch(&batch[3..]).unwrap();
+        assert_eq!(replica.configurations(), Some(1));
+        // Golden-model detectors have no platform to configure.
+        assert_eq!(cfd_factory(0.35).build().unwrap().configurations(), None);
     }
 
     #[test]
@@ -401,8 +865,8 @@ mod tests {
         );
         let scenario = small_scenario();
         let sweep = SnrSweep::new(vec![10.0], 20).unwrap();
-        let mut detectors = vec![cfd_detector(threshold)];
-        let table = evaluate_sweep(&scenario, &sweep, &mut detectors).unwrap();
+        let detectors = vec![cfd_factory(threshold)];
+        let table = evaluate_sweep(&scenario, &sweep, &detectors).unwrap();
         let row = table.row("cfd", 10.0).unwrap();
         assert!(row.pfa <= 0.3, "Pfa = {}", row.pfa);
         // The normalised feature statistic saturates with SNR, so a short
@@ -426,11 +890,11 @@ mod tests {
         let len = 512;
         let scenario = RadioScenario::preset("bpsk-awgn", len).unwrap();
         let sweep = SnrSweep::new(vec![0.0], 3).unwrap();
-        let mut detectors = vec![
-            SweepDetector::Energy(EnergyDetector::new(1.0, 0.05, len).unwrap()),
-            SweepDetector::Energy(EnergyDetector::with_threshold(1.0, 2.0).unwrap()),
+        let detectors = vec![
+            SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.05, len).unwrap()),
+            SweepDetectorFactory::Energy(EnergyDetector::with_threshold(1.0, 2.0).unwrap()),
         ];
-        let table = evaluate_sweep(&scenario, &sweep, &mut detectors).unwrap();
+        let table = evaluate_sweep(&scenario, &sweep, &detectors).unwrap();
         assert_eq!(
             table.detectors(),
             vec!["energy#0".to_string(), "energy#1".into()]
@@ -472,18 +936,46 @@ mod tests {
     }
 
     #[test]
+    fn roc_table_to_json_is_machine_readable() {
+        let table = RocTable {
+            rows: vec![RocRow {
+                snr_db: -5.0,
+                detector: "cfd\"#1".into(),
+                pd: 0.6,
+                pfa: 0.125,
+                trials: 8,
+            }],
+        };
+        let json = table.to_json();
+        assert_eq!(
+            json,
+            "{\"rows\":[{\"snr_db\":-5,\"detector\":\"cfd\\\"#1\",\
+             \"pd\":0.6,\"pfa\":0.125,\"trials\":8}]}"
+        );
+        assert_eq!(RocTable::default().to_json(), "{\"rows\":[]}");
+    }
+
+    #[test]
+    fn factory_labels_match_replica_labels() {
+        // `sweep_labels` reads the factory's label while tables could be
+        // cross-referenced against replicas: the two match arms must not
+        // drift apart.
+        let factories = [
+            SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.05, 512).unwrap()),
+            cfd_factory(0.35),
+            soc_factory(0.35),
+        ];
+        for factory in &factories {
+            assert_eq!(factory.label(), factory.build().unwrap().label());
+        }
+    }
+
+    #[test]
     fn tiled_soc_detector_agrees_with_golden_model() {
-        use cfd_core::app::{CfdApplication, Platform};
-        let app = CfdApplication::new(32, 7, 32).unwrap();
         let scenario = small_scenario();
-        let mut soc = SweepDetector::TiledSoc(Box::new(
-            SpectrumSensor::new(app, &Platform::paper(), 0.35, 1).unwrap(),
-        ));
-        let mut golden = cfd_detector(0.35);
         let sweep = SnrSweep::new(vec![5.0], 5).unwrap();
-        let soc_table = evaluate_sweep(&scenario, &sweep, std::slice::from_mut(&mut soc)).unwrap();
-        let golden_table =
-            evaluate_sweep(&scenario, &sweep, std::slice::from_mut(&mut golden)).unwrap();
+        let soc_table = evaluate_sweep(&scenario, &sweep, &[soc_factory(0.35)]).unwrap();
+        let golden_table = evaluate_sweep(&scenario, &sweep, &[cfd_factory(0.35)]).unwrap();
         // The platform computes the same DSCF, so decisions must agree.
         assert_eq!(soc_table.rows[0].pd, golden_table.rows[0].pd);
         assert_eq!(soc_table.rows[0].pfa, golden_table.rows[0].pfa);

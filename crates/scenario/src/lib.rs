@@ -13,9 +13,15 @@
 //!   quantisation (reusing `cfd-dsp::fixed`);
 //! * [`scenario`] — named presets, the deterministic Monte-Carlo trial
 //!   runner, and SNR retargeting with common random numbers;
-//! * [`eval`] — the sweep harness producing Pd/Pfa ROC tables over the
-//!   energy detector, the golden-model cyclostationary detector, and the
-//!   full tiled-SoC sensing path of `cfd-core`.
+//! * [`eval`] — the parallel batched sweep engine producing Pd/Pfa ROC
+//!   tables over the energy detector, the golden-model cyclostationary
+//!   detector, and the full tiled-SoC sensing path of `cfd-core`:
+//!   detectors are described by [`SweepDetectorFactory`] recipes, every
+//!   worker thread builds its own replicas (the SoC path opens one
+//!   `SensingSession` per worker), and `(snr_point, trial)` cells are
+//!   distributed over a crossbeam work queue — bit-identical to the serial
+//!   reference [`eval::evaluate_sweep_serial`] thanks to common random
+//!   numbers.
 //!
 //! ## Example: a ROC table under noise-floor uncertainty
 //!
@@ -34,12 +40,12 @@
 //!     .with_noise_power(1.26);
 //!
 //! let threshold = calibrate_cfd_threshold(&params, 1, 0.1, 20, 7)?;
-//! let mut detectors = vec![
-//!     SweepDetector::Energy(EnergyDetector::new(1.0, 0.1, params.samples_needed())?),
-//!     SweepDetector::Cyclostationary(CyclostationaryDetector::new(params, threshold, 1)?),
+//! let detectors = vec![
+//!     SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.1, params.samples_needed())?),
+//!     SweepDetectorFactory::Cyclostationary(CyclostationaryDetector::new(params, threshold, 1)?),
 //! ];
 //! let sweep = SnrSweep::new(vec![0.0, 5.0], 10)?;
-//! let table = evaluate_sweep(&scenario, &sweep, &mut detectors)?;
+//! let table = evaluate_sweep(&scenario, &sweep, &detectors)?;
 //! println!("{}", table.render());
 //!
 //! // The energy detector false-alarms under the 1 dB calibration error;
@@ -61,7 +67,10 @@ pub mod signal;
 
 pub use channel::{ChannelPipeline, ChannelStage};
 pub use error::ScenarioError;
-pub use eval::{evaluate_sweep, RocRow, RocTable, SnrSweep, SweepDetector};
+pub use eval::{
+    evaluate_sweep, evaluate_sweep_serial, evaluate_sweep_with_workers, RocRow, RocTable, SnrSweep,
+    SweepDetector, SweepDetectorFactory,
+};
 pub use scenario::{Hypothesis, RadioScenario, ScenarioObservation};
 pub use signal::SignalModel;
 
@@ -70,7 +79,9 @@ pub mod prelude {
     pub use crate::channel::{ChannelPipeline, ChannelStage};
     pub use crate::error::ScenarioError;
     pub use crate::eval::{
-        calibrate_cfd_threshold, evaluate_sweep, RocRow, RocTable, SnrSweep, SweepDetector,
+        calibrate_cfd_threshold, evaluate_sweep, evaluate_sweep_serial,
+        evaluate_sweep_with_workers, RocRow, RocTable, SnrSweep, SweepDetector,
+        SweepDetectorFactory,
     };
     pub use crate::scenario::{Hypothesis, RadioScenario, ScenarioObservation};
     pub use crate::signal::SignalModel;

@@ -171,6 +171,7 @@ impl RadioScenario {
             "bpsk-two-ray",
             "ofdm-pilot",
             "bpsk-adc",
+            "bpsk-impulsive",
         ]
     }
 
@@ -229,6 +230,25 @@ impl RadioScenario {
                     pilot_spacing: 4,
                 },
                 ChannelPipeline::awgn(0.0),
+                observation_len,
+            ),
+            // BPSK under Bernoulli–Gaussian impulsive noise: 2% of the
+            // samples receive a 20 dB burst on top of the thermal floor —
+            // the man-made interference regime of the TV bands, where the
+            // energy statistic inflates but cyclic features survive.
+            "bpsk-impulsive" => RadioScenario::new(
+                name,
+                SignalModel::bpsk(),
+                ChannelPipeline::new(vec![
+                    ChannelStage::Awgn {
+                        snr_db: 0.0,
+                        noise_power: 1.0,
+                    },
+                    ChannelStage::ImpulsiveNoise {
+                        probability: 0.02,
+                        impulse_power: 100.0,
+                    },
+                ]),
                 observation_len,
             ),
             // BPSK sensed through a 16-bit ADC with 12 dB of headroom.

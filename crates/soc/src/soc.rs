@@ -70,6 +70,7 @@ pub struct TiledSoc {
     tiles: Vec<Tile>,
     inter_tile_transfers: u64,
     source_inputs: u64,
+    configurations: u64,
 }
 
 impl TiledSoc {
@@ -102,6 +103,7 @@ impl TiledSoc {
             tiles,
             inter_tile_transfers: 0,
             source_inputs: 0,
+            configurations: 1,
         })
     }
 
@@ -138,6 +140,15 @@ impl TiledSoc {
     /// The number of tiles.
     pub fn num_tiles(&self) -> usize {
         self.tiles.len()
+    }
+
+    /// How many times this platform has been configured (sequencer programs
+    /// loaded into the tiles). Construction configures once;
+    /// [`TiledSoc::run`] and [`TiledSoc::reset`] never reconfigure — this
+    /// counter is the observable that lets the session layer assert its
+    /// "configure once, decide many" contract.
+    pub fn configurations(&self) -> u64 {
+        self.configurations
     }
 
     /// Runs `num_blocks` integration steps over `signal` (consecutive,
@@ -503,5 +514,17 @@ mod tests {
         let second = soc.run(&signal, 1).unwrap();
         assert!(first.scf.max_abs_difference(&second.scf) < 1e-12);
         assert_eq!(first.inter_tile_transfers, second.inter_tile_transfers);
+    }
+
+    #[test]
+    fn runs_and_resets_never_reconfigure() {
+        let (signal, _) = test_signal(1);
+        let mut soc = small_soc(ExecutionMode::Lockstep, 2);
+        assert_eq!(soc.configurations(), 1);
+        for _ in 0..5 {
+            soc.reset();
+            soc.run(&signal, 1).unwrap();
+        }
+        assert_eq!(soc.configurations(), 1);
     }
 }

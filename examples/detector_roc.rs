@@ -12,6 +12,8 @@
 //! fully seeded and reproduces exactly.
 //!
 //! Run with: `cargo run --release --example detector_roc`
+//! (pass `--json` to dump the ROC table as machine-readable JSON instead
+//! of the text rendering — e.g. for `BENCH_*.json` trajectory tracking).
 
 use cfd_tiled_soc::dsp::prelude::*;
 use cfd_tiled_soc::scenario::prelude::*;
@@ -23,6 +25,7 @@ const TARGET_PFA: f64 = 0.1;
 const NOISE_UNCERTAINTY: f64 = 1.26;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let json_output = std::env::args().any(|arg| arg == "--json");
     // The sensing configuration: 15x15 DSCF over 32-point spectra with 64
     // integration steps, i.e. 2048 samples per decision.
     let params = ScfParams::new(32, 7, 64)?;
@@ -33,11 +36,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_seed(SEED)
         .with_noise_power(NOISE_UNCERTAINTY);
 
-    // Calibrate both detectors for the nominal (unit) noise floor.
+    // Calibrate both detectors for the nominal (unit) noise floor. Each
+    // worker thread of the sweep engine builds its own replicas from these
+    // factories.
     let cfd_threshold = calibrate_cfd_threshold(&params, 1, TARGET_PFA, 200, SEED)?;
-    let mut detectors = vec![
-        SweepDetector::Energy(EnergyDetector::new(1.0, TARGET_PFA, samples_per_decision)?),
-        SweepDetector::Cyclostationary(CyclostationaryDetector::new(
+    let detectors = vec![
+        SweepDetectorFactory::Energy(EnergyDetector::new(1.0, TARGET_PFA, samples_per_decision)?),
+        SweepDetectorFactory::Cyclostationary(CyclostationaryDetector::new(
             params.clone(),
             cfd_threshold,
             1,
@@ -45,6 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     let sweep = SnrSweep::linspace(-12.0, 8.0, 6, TRIALS)?;
+    let table = evaluate_sweep(&scenario, &sweep, &detectors)?;
+    if json_output {
+        println!("{}", table.to_json());
+        return Ok(());
+    }
     println!(
         "scenario: {} | {} samples/decision | {} trials/point | seed {SEED}",
         scenario.name, samples_per_decision, TRIALS
@@ -54,8 +64,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          actual noise power = {NOISE_UNCERTAINTY} (+1 dB)"
     );
     println!("calibrated CFD threshold: {cfd_threshold:.3}\n");
-
-    let table = evaluate_sweep(&scenario, &sweep, &mut detectors)?;
     print!("{}", table.render());
 
     // Who delivers a usable operating point at each SNR?

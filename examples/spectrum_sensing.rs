@@ -44,21 +44,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          {TRIALS} trials/point, seed {SEED}\n"
     );
 
+    // The sweep engine builds one sensing session per worker thread from
+    // these factories: the SoC is configured once per session and every
+    // observation of that worker then streams through it.
+    let detectors = vec![
+        SweepDetectorFactory::tiled_soc(application.clone(), &platform, 0.35, 1),
+        SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.05, samples_per_decision)?),
+    ];
     for preset in RadioScenario::preset_names() {
         let scenario = RadioScenario::preset(preset, samples_per_decision)
             .expect("built-in preset")
             .with_seed(SEED)
             .with_noise_power(NOISE_UNCERTAINTY);
-        let mut detectors = vec![
-            SweepDetector::TiledSoc(Box::new(SpectrumSensor::new(
-                application.clone(),
-                &platform,
-                0.35,
-                1,
-            )?)),
-            SweepDetector::Energy(EnergyDetector::new(1.0, 0.05, samples_per_decision)?),
-        ];
-        let table = evaluate_sweep(&scenario, &sweep, &mut detectors)?;
+        let table = evaluate_sweep(&scenario, &sweep, &detectors)?;
         println!("== scenario: {preset}");
         print!("{}", table.render());
         println!();

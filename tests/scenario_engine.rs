@@ -1,8 +1,10 @@
 //! Property-based tests over the scenario engine: SNR accuracy of the AWGN
-//! channel, seeded reproducibility of Monte-Carlo trials, and monotonicity
-//! of the energy detector's detection probability in SNR.
+//! channel, seeded reproducibility of Monte-Carlo trials, monotonicity of
+//! the energy detector's detection probability in SNR, and bit-exact
+//! equivalence of the parallel sweep engine with its serial reference.
 
-use cfd_dsp::detector::EnergyDetector;
+use cfd_dsp::detector::{CyclostationaryDetector, EnergyDetector};
+use cfd_dsp::scf::ScfParams;
 use cfd_dsp::signal::signal_power;
 use cfd_scenario::prelude::*;
 use proptest::prelude::*;
@@ -64,10 +66,10 @@ proptest! {
             .expect("built-in preset")
             .with_seed(seed);
         let sweep = SnrSweep::linspace(-18.0, 6.0, 5, 30).unwrap();
-        let mut detectors = vec![SweepDetector::Energy(
+        let detectors = vec![SweepDetectorFactory::Energy(
             EnergyDetector::new(1.0, 0.05, len).unwrap(),
         )];
-        let table = evaluate_sweep(&scenario, &sweep, &mut detectors).unwrap();
+        let table = evaluate_sweep(&scenario, &sweep, &detectors).unwrap();
         let series = table.pd_series("energy");
         prop_assert_eq!(series.len(), 5);
         // Two trials of slack out of 30: each trial's negative cross term
@@ -85,5 +87,40 @@ proptest! {
         }
         // The sweep spans chance to certainty.
         prop_assert!(series[4].1 > 0.9, "Pd at 6 dB = {}", series[4].1);
+    }
+
+    /// Determinism under common random numbers survives the thread pool:
+    /// for every preset, any worker count and any base seed, the parallel
+    /// sweep produces a `RocTable` identical to the serial reference —
+    /// same rows, same Pd/Pfa, bit for bit.
+    #[test]
+    fn parallel_sweep_equals_serial_for_every_preset(
+        seed in 0u64..1000,
+        workers in 2usize..6,
+    ) {
+        let params = ScfParams::new(32, 7, 8).unwrap();
+        let len = params.samples_needed();
+        let sweep = SnrSweep::new(vec![-5.0, 5.0], 6).unwrap();
+        let detectors = vec![
+            SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.1, len).unwrap()),
+            SweepDetectorFactory::Cyclostationary(
+                CyclostationaryDetector::new(params.clone(), 0.35, 1).unwrap(),
+            ),
+        ];
+        for preset in RadioScenario::preset_names() {
+            let scenario = RadioScenario::preset(preset, len)
+                .expect("built-in preset")
+                .with_seed(seed);
+            let serial = evaluate_sweep_serial(&scenario, &sweep, &detectors).unwrap();
+            let parallel =
+                evaluate_sweep_with_workers(&scenario, &sweep, &detectors, workers).unwrap();
+            prop_assert_eq!(
+                &serial,
+                &parallel,
+                "preset {} diverged with {} workers",
+                preset,
+                workers
+            );
+        }
     }
 }
