@@ -1,10 +1,12 @@
 //! Criterion bench of the DSP substrate: FFT sizes, the reference DSCF
 //! (eq. 3) and the Section 2 cost relation between them (the DSCF costs
 //! `¼K²` complex multiplications versus `½K·log2 K` for the FFT — 16× for
-//! K = 256).
+//! K = 256), plus the `dscf_kernel` group comparing the eq.-3 golden model
+//! against the table-driven, symmetry-halved [`ScfEngine`] at the paper's
+//! 127×127 scale.
 
-use cfd_dsp::fft::fft;
-use cfd_dsp::scf::{dscf_reference, ScfParams};
+use cfd_dsp::fft::{fft, FftPlan};
+use cfd_dsp::scf::{dscf_reference, ScfEngine, ScfMatrix, ScfParams};
 use cfd_dsp::signal::awgn;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
@@ -46,5 +48,70 @@ fn bench_dscf(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fft, bench_dscf);
+/// Headline comparison for the fast-DSCF rework: the eq.-3 reference vs
+/// the [`ScfEngine`] on the identical workload — the paper's 127×127 grid
+/// over 256-point spectra, 8 integration steps. The engine precomputes the
+/// FFT plan, window and `centred_bin` index tables, computes only the
+/// `a ≥ 0` half (mirroring the rest by conjugation), and — in the
+/// `engine_into` row — reuses one matrix allocation across iterations the
+/// way a Monte-Carlo sweep does. Output is bit-identical to the reference.
+fn bench_dscf_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dscf_kernel");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let params = ScfParams::paper_256_with_blocks(8);
+    let signal = awgn(params.samples_needed(), 1.0, 2007);
+    let engine = ScfEngine::new(params.clone()).unwrap();
+
+    group.bench_function("reference_127x127_8blocks", |b| {
+        b.iter(|| dscf_reference(&signal, &params).unwrap());
+    });
+    group.bench_function("engine_127x127_8blocks", |b| {
+        b.iter(|| engine.compute(&signal).unwrap());
+    });
+    group.bench_function("engine_into_127x127_8blocks", |b| {
+        let mut scratch = ScfMatrix::zeros(params.max_offset);
+        b.iter(|| engine.compute_into(&signal, &mut scratch).unwrap());
+    });
+    group.finish();
+}
+
+/// Planned vs planless FFT at the paper's block size: the planless entry
+/// points rebuild nothing (they wrap a cached plan), so this measures the
+/// residual cost of the per-call cache lookup against a held plan.
+fn bench_fft_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_plan");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let n = 256;
+    let signal = awgn(n, 1.0, 256);
+    let plan = FftPlan::new(n).unwrap();
+    group.bench_function("cached_plan_wrapper_256", |b| {
+        let mut buf = signal.clone();
+        b.iter(|| {
+            buf.copy_from_slice(&signal);
+            cfd_dsp::fft::fft_in_place(&mut buf).unwrap();
+        });
+    });
+    group.bench_function("held_plan_256", |b| {
+        let mut buf = signal.clone();
+        b.iter(|| {
+            buf.copy_from_slice(&signal);
+            plan.forward_in_place(&mut buf).unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_dscf,
+    bench_dscf_kernel,
+    bench_fft_plan
+);
 criterion_main!(benches);

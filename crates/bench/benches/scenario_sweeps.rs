@@ -138,11 +138,76 @@ fn bench_sweep_engine_parallelism(c: &mut Criterion) {
     group.finish();
 }
 
+/// Before/after of the shared-spectra rework for a roster of several CFD
+/// detectors: `per_replica` re-runs windowing + FFT + DSCF from raw
+/// samples inside every replica (the old behaviour, reconstructed via
+/// `SweepDetector::decide`), `shared_spectra` is the current engine path
+/// where each trial's block spectra are computed once and every CFD
+/// replica reuses them. Decisions are identical; only the work differs.
+fn bench_sweep_shared_spectra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_sweep_shared_spectra");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(300));
+    let params = ScfParams::new(64, 15, 16).expect("valid params");
+    let len = params.samples_needed();
+    let scenario = RadioScenario::preset("bpsk-awgn", len).expect("built-in preset");
+    let trials = 8usize;
+    // Three CFD detectors at the same ScfParams but different operating
+    // points — the roster shape the ROADMAP's "reuse H1 block spectra
+    // across detectors" item is about.
+    let factories: Vec<SweepDetectorFactory> = [0.25, 0.35, 0.45]
+        .iter()
+        .map(|&threshold| {
+            SweepDetectorFactory::Cyclostationary(
+                CyclostationaryDetector::new(params.clone(), threshold, 1).expect("valid detector"),
+            )
+        })
+        .collect();
+    let observations: Vec<_> = (0..trials)
+        .map(|trial| scenario.observe(Hypothesis::Occupied, trial).unwrap())
+        .collect();
+
+    group.bench_function("per_replica_fft_3cfd_8trials", |b| {
+        let mut replicas: Vec<_> = factories.iter().map(|f| f.build().unwrap()).collect();
+        b.iter(|| {
+            let mut positives = 0usize;
+            for observation in &observations {
+                for replica in &mut replicas {
+                    if replica.decide(&observation.samples).unwrap() {
+                        positives += 1;
+                    }
+                }
+            }
+            positives
+        });
+    });
+    group.bench_function("shared_spectra_3cfd_8trials", |b| {
+        let mut replicas: Vec<_> = factories.iter().map(|f| f.build().unwrap()).collect();
+        let mut workspace = SpectraWorkspace::new();
+        b.iter(|| {
+            let mut positives = 0usize;
+            for observation in &observations {
+                let mut shared = workspace.observation(&observation.samples);
+                for replica in &mut replicas {
+                    if replica.decide_from_spectra(&mut shared).unwrap() {
+                        positives += 1;
+                    }
+                }
+            }
+            positives
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_signal_generation,
     bench_channel_stages,
     bench_sweep_evaluation,
-    bench_sweep_engine_parallelism
+    bench_sweep_engine_parallelism,
+    bench_sweep_shared_spectra
 );
 criterion_main!(benches);

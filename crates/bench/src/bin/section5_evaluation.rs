@@ -4,6 +4,11 @@
 //! analytic two-step methodology and from the executing platform simulation.
 //!
 //! Run with: `cargo run --release -p cfd-bench --bin section5_evaluation`
+//!
+//! With `--bench-json <path>` the sweep-engine cross-check's Pd/Pfa table
+//! is additionally written to `<path>` as JSON (via [`RocTable::to_json`]),
+//! the machine-readable artefact CI uploads per run (`BENCH_sweeps.json`)
+//! for sweep-result trajectory tracking.
 
 use cfd_bench::header;
 use cfd_core::prelude::*;
@@ -11,7 +16,26 @@ use cfd_dsp::signal::awgn;
 use cfd_scenario::prelude::*;
 use tiled_soc::soc::TiledSoc;
 
+/// Parses `--bench-json <path>` from the command line, if present.
+///
+/// # Errors
+///
+/// Errors when the flag is given without a path.
+fn bench_json_path() -> Result<Option<std::path::PathBuf>, Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--bench-json" {
+            return match args.next() {
+                Some(path) => Ok(Some(path.into())),
+                None => Err("--bench-json requires a path argument".into()),
+            };
+        }
+    }
+    Ok(None)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench_json = bench_json_path()?;
     header("Section 5: evaluation of the 4-Montium platform (analytic)");
     let report = TwoStepMapping::analyse(&CfdApplication::paper(), &Platform::paper())?;
     println!(
@@ -98,6 +122,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let table = evaluate_sweep(&scenario, &sweep, &detectors)?;
     print!("{}", table.render());
     println!("(the SoC rows must equal the golden-model rows: same DSCF, same statistic)");
+    if let Some(path) = &bench_json {
+        std::fs::write(path, table.to_json())?;
+        println!("sweep table written as JSON to {}", path.display());
+    }
 
     header("Scalability: platform configurations (the paper's linear-scaling claim)");
     let study = EvaluationReport::scaling_study(&CfdApplication::paper(), &[1, 2, 4, 8, 16, 32])?;

@@ -17,7 +17,7 @@
 
 use crate::complex::Cplx;
 use crate::error::DspError;
-use crate::scf::{dscf_reference, ScfMatrix, ScfParams};
+use crate::scf::{ScfEngine, ScfMatrix, ScfParams};
 use crate::signal::signal_power;
 
 /// Outcome of a detection decision.
@@ -240,9 +240,13 @@ impl Detector for EnergyDetector {
 /// Because both numerator and denominator scale with the received power, the
 /// statistic does not depend on the absolute noise level — the property that
 /// makes CFD attractive when the noise floor is uncertain.
+///
+/// The detector owns an [`ScfEngine`]: the FFT plan, window coefficients and
+/// DSCF index tables are built once at construction and reused by every
+/// decision (the engine is bit-identical to the eq.-3 golden model).
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CyclostationaryDetector {
-    params: ScfParams,
+    engine: ScfEngine,
     threshold: f64,
     guard_offsets: usize,
 }
@@ -276,7 +280,7 @@ impl CyclostationaryDetector {
             });
         }
         Ok(CyclostationaryDetector {
-            params,
+            engine: ScfEngine::new(params)?,
             threshold,
             guard_offsets,
         })
@@ -284,7 +288,14 @@ impl CyclostationaryDetector {
 
     /// The DSCF parameters this detector evaluates.
     pub fn params(&self) -> &ScfParams {
-        &self.params
+        self.engine.params()
+    }
+
+    /// The precomputed DSCF engine this detector evaluates with. Sweep
+    /// drivers use it to compute block spectra once per observation and
+    /// share them across detector replicas.
+    pub fn engine(&self) -> &ScfEngine {
+        &self.engine
     }
 
     /// The guard zone half-width around `a = 0`.
@@ -301,6 +312,53 @@ impl CyclostationaryDetector {
     /// Runs the decision on an already-computed DSCF matrix.
     pub fn detect_from_scf(&self, scf: &ScfMatrix) -> DetectionOutcome {
         let statistic = self.statistic_from_scf(scf);
+        self.outcome(statistic)
+    }
+
+    /// Runs the decision on precomputed block spectra (eq. 2), e.g. the
+    /// shared spectra a sweep engine computed once per trial. Decisions are
+    /// identical to [`Detector::detect`] on the raw samples: the engine's
+    /// spectra path is bit-identical to the one `detect` uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block is shorter than `params().fft_len`.
+    pub fn detect_from_spectra(&self, spectra: &[Vec<Cplx>]) -> DetectionOutcome {
+        let mut scf = ScfMatrix::zeros(self.params().max_offset);
+        self.detect_from_spectra_into(spectra, &mut scf)
+    }
+
+    /// [`CyclostationaryDetector::detect_from_spectra`] with a
+    /// caller-provided scratch matrix, so sweeps reuse one DSCF allocation
+    /// across all trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block is shorter than `params().fft_len`.
+    pub fn detect_from_spectra_into(
+        &self,
+        spectra: &[Vec<Cplx>],
+        scratch: &mut ScfMatrix,
+    ) -> DetectionOutcome {
+        self.engine.dscf_from_spectra_into(spectra, scratch);
+        self.detect_from_scf(scratch)
+    }
+
+    /// [`Detector::detect`] with a caller-provided scratch matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (e.g. too few samples).
+    pub fn detect_into(
+        &self,
+        samples: &[Cplx],
+        scratch: &mut ScfMatrix,
+    ) -> Result<DetectionOutcome, DspError> {
+        self.engine.compute_into(samples, scratch)?;
+        Ok(self.detect_from_scf(scratch))
+    }
+
+    fn outcome(&self, statistic: f64) -> DetectionOutcome {
         DetectionOutcome {
             statistic,
             threshold: self.threshold,
@@ -315,7 +373,7 @@ impl CyclostationaryDetector {
 
 impl Detector for CyclostationaryDetector {
     fn statistic(&self, samples: &[Cplx]) -> Result<f64, DspError> {
-        let scf = dscf_reference(samples, &self.params)?;
+        let scf = self.engine.compute(samples)?;
         Ok(self.statistic_from_scf(&scf))
     }
 
@@ -364,6 +422,7 @@ pub fn inverse_q(probability: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scf::dscf_reference;
     use crate::signal::{SignalBuilder, SymbolModulation};
 
     fn busy_observation(snr_db: f64, len: usize, seed: u64) -> Vec<Cplx> {
@@ -492,6 +551,26 @@ mod tests {
         let from_scf = d.detect_from_scf(&scf);
         let from_samples = d.detect(&busy).unwrap();
         assert_eq!(from_scf, from_samples);
+    }
+
+    #[test]
+    fn detect_from_spectra_matches_detect_from_samples() {
+        let params = ScfParams::new(32, 7, 32).unwrap();
+        let d = CyclostationaryDetector::new(params.clone(), 0.35, 1).unwrap();
+        for seed in [7u64, 8, 9] {
+            let busy = busy_observation(0.0, params.samples_needed(), seed);
+            let spectra = d.engine().compute_spectra(&busy).unwrap();
+            let from_samples = d.detect(&busy).unwrap();
+            assert_eq!(d.detect_from_spectra(&spectra), from_samples);
+            // The scratch-reusing path is identical too, even with a dirty
+            // wrong-sized scratch matrix.
+            let mut scratch = ScfMatrix::zeros(2);
+            assert_eq!(
+                d.detect_from_spectra_into(&spectra, &mut scratch),
+                from_samples
+            );
+            assert_eq!(d.detect_into(&busy, &mut scratch).unwrap(), from_samples);
+        }
     }
 
     #[test]

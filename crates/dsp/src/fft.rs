@@ -7,11 +7,15 @@
 //!
 //! This module provides:
 //!
+//! * [`FftPlan`] — a reusable plan holding the precomputed twiddle factors
+//!   and bit-reversal permutation for one transform length,
 //! * [`fft_in_place`] / [`ifft_in_place`] — iterative radix-2
-//!   decimation-in-time FFT for power-of-two sizes,
+//!   decimation-in-time FFT for power-of-two sizes (thin wrappers over a
+//!   per-thread cache of plans),
 //! * [`dft_naive`] — an O(K²) direct DFT used as the golden model in tests,
 //! * [`block_spectrum`] — the windowed, time-shifted spectrum
-//!   `X_{n,v}` of eq. 2,
+//!   `X_{n,v}` of eq. 2 (and [`block_spectrum_with_plan`], its
+//!   allocation-conscious core),
 //! * complexity helpers ([`fft_complex_multiplications`],
 //!   [`dscf_complex_multiplications`]) reproducing the Section 2 cost
 //!   comparison ("16× as many multiplications for a 256-point spectrum").
@@ -19,7 +23,10 @@
 use crate::complex::Cplx;
 use crate::error::DspError;
 use crate::window::Window;
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::f64::consts::PI;
+use std::rc::Rc;
 
 /// Returns `true` if `n` is a power of two (and non-zero).
 #[inline]
@@ -54,9 +61,234 @@ pub fn bit_reverse_permute(data: &mut [Cplx]) {
     }
 }
 
+/// A reusable FFT plan for one power-of-two transform length.
+///
+/// The planless [`fft_in_place`] of earlier revisions recomputed
+/// `exp(-j·2π/len)` at every stage of every call and derived the stage
+/// twiddles by repeated multiplication. A plan hoists all of that set-up
+/// out of the hot loop — it is built once per length and reused across
+/// every block of a sweep:
+///
+/// * **stage twiddles** — `exp(±j·2π·offset/size)` for every butterfly of
+///   every stage, stage-major and contiguous, evaluated directly (no
+///   accumulated rounding from the old repeated-multiplication recurrence);
+///   forward and inverse tables are both stored so neither direction pays
+///   a per-butterfly conjugation;
+/// * **bit-reversal permutation** — the reordering target of every index,
+///   replacing the per-call bit-twiddling loop;
+/// * **phase roots** — the `len` distinct values of `exp(-j·2π·r/len)`,
+///   used by [`block_spectrum_with_plan`] to apply the absolute-time phase
+///   rotation of eq. 2 by table lookup with exact index reduction (the
+///   old path evaluated `cos`/`sin` of an unreduced, arbitrarily large
+///   phase per bin per block).
+///
+/// The planless [`fft_in_place`] / [`ifft_in_place`] remain available as
+/// thin wrappers over a per-thread cache of plans ([`cached_plan`]), so
+/// existing call sites get the precomputation for free.
+///
+/// # Examples
+///
+/// ```
+/// use cfd_dsp::complex::Cplx;
+/// use cfd_dsp::fft::FftPlan;
+///
+/// # fn main() -> Result<(), cfd_dsp::error::DspError> {
+/// let plan = FftPlan::new(8)?;
+/// let mut data = vec![Cplx::ONE; 8];
+/// plan.forward_in_place(&mut data)?;
+/// assert!((data[0].re - 8.0).abs() < 1e-12);
+/// plan.inverse_in_place(&mut data)?;
+/// assert!((data[0] - Cplx::ONE).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FftPlan {
+    len: usize,
+    /// Bit-reversal target of every index (`permutation[i] = reverse(i)`).
+    permutation: Vec<u32>,
+    /// Forward twiddles, stage-major: the stage of sub-FFT size `s`
+    /// contributes `s/2` entries `exp(-j·2π·offset/s)`, `offset < s/2`.
+    forward: Vec<Cplx>,
+    /// The same table for the inverse transform (`exp(+j·2π·offset/s)`).
+    inverse: Vec<Cplx>,
+    /// `phase_roots[r] = exp(-j·2π·r/len)` for `r ∈ 0..len`.
+    phase_roots: Vec<Cplx>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `len`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::NotPowerOfTwo`] if `len` is not a power of two.
+    pub fn new(len: usize) -> Result<Self, DspError> {
+        if !is_power_of_two(len) {
+            return Err(DspError::NotPowerOfTwo { length: len });
+        }
+        let bits = len.trailing_zeros();
+        let permutation = (0..len).map(|i| bit_reverse(i, bits) as u32).collect();
+        // One entry per butterfly position per stage: Σ s/2 = len - 1.
+        let mut forward = Vec::with_capacity(len.saturating_sub(1));
+        let mut inverse = Vec::with_capacity(len.saturating_sub(1));
+        let mut size = 2;
+        while size <= len {
+            for offset in 0..size / 2 {
+                let angle = 2.0 * PI * offset as f64 / size as f64;
+                forward.push(Cplx::cis(-angle));
+                inverse.push(Cplx::cis(angle));
+            }
+            size <<= 1;
+        }
+        let phase_roots = (0..len)
+            .map(|r| Cplx::cis(-2.0 * PI * r as f64 / len as f64))
+            .collect();
+        Ok(FftPlan {
+            len,
+            permutation,
+            forward,
+            inverse,
+            phase_roots,
+        })
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` for the degenerate length-0 plan (never constructible via
+    /// [`FftPlan::new`], provided for API completeness with `len`).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn check_len(&self, data: &[Cplx]) -> Result<(), DspError> {
+        if data.len() != self.len {
+            return Err(DspError::InvalidParameter {
+                name: "data",
+                message: format!(
+                    "plan is for length {}, got a buffer of length {}",
+                    self.len,
+                    data.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn transform(&self, data: &mut [Cplx], twiddles: &[Cplx]) {
+        let n = self.len;
+        for (i, &target) in self.permutation.iter().enumerate() {
+            let j = target as usize;
+            if j > i {
+                data.swap(i, j);
+            }
+        }
+        let mut stage_offset = 0;
+        let mut size = 2;
+        while size <= n {
+            let half = size / 2;
+            let stage = &twiddles[stage_offset..stage_offset + half];
+            for start in (0..n).step_by(size) {
+                for (offset, &w) in stage.iter().enumerate() {
+                    let even = data[start + offset];
+                    let odd = data[start + offset + half] * w;
+                    data[start + offset] = even + odd;
+                    data[start + offset + half] = even - odd;
+                }
+            }
+            stage_offset += half;
+            size <<= 1;
+        }
+    }
+
+    /// In-place forward FFT
+    /// (`X[v] = Σ_k x[k]·exp(-j·2π·k·v/N)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `data.len()` differs from
+    /// the plan length.
+    pub fn forward_in_place(&self, data: &mut [Cplx]) -> Result<(), DspError> {
+        self.check_len(data)?;
+        self.transform(data, &self.forward);
+        Ok(())
+    }
+
+    /// In-place inverse FFT, including the `1/N` normalisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `data.len()` differs from
+    /// the plan length.
+    pub fn inverse_in_place(&self, data: &mut [Cplx]) -> Result<(), DspError> {
+        self.check_len(data)?;
+        self.transform(data, &self.inverse);
+        let n = self.len as f64;
+        for value in data.iter_mut() {
+            *value = *value / n;
+        }
+        Ok(())
+    }
+
+    /// Applies the eq.-2 absolute-time phase rotation
+    /// `X[v] *= exp(-j·2π·start·v/len)` by table lookup.
+    ///
+    /// The exponent index `start·v` is reduced modulo `len` incrementally
+    /// (no multiplication, no `%` in the loop, no large-argument
+    /// `cos`/`sin`), so the rotation is exact for any block start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is longer than the plan length.
+    pub fn rotate_block_phase(&self, start: usize, data: &mut [Cplx]) {
+        assert!(data.len() <= self.len, "buffer longer than the plan");
+        let step = start % self.len.max(1);
+        if step == 0 {
+            return;
+        }
+        let mut r = 0usize;
+        for value in data.iter_mut() {
+            *value *= self.phase_roots[r];
+            r += step;
+            if r >= self.len {
+                r -= self.len;
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread cache of plans, keyed by transform length. Plans are
+    /// immutable once built, so sharing them via `Rc` is free; keeping the
+    /// cache thread-local avoids any locking on the hot path.
+    static PLAN_CACHE: RefCell<HashMap<usize, Rc<FftPlan>>> = RefCell::new(HashMap::new());
+}
+
+/// Returns this thread's cached [`FftPlan`] for `len`, building (and
+/// caching) it on first use.
+///
+/// # Errors
+///
+/// Returns [`DspError::NotPowerOfTwo`] if `len` is not a power of two.
+pub fn cached_plan(len: usize) -> Result<Rc<FftPlan>, DspError> {
+    PLAN_CACHE.with(|cache| {
+        if let Some(plan) = cache.borrow().get(&len) {
+            return Ok(Rc::clone(plan));
+        }
+        let plan = Rc::new(FftPlan::new(len)?);
+        cache.borrow_mut().insert(len, Rc::clone(&plan));
+        Ok(plan)
+    })
+}
+
 /// In-place iterative radix-2 decimation-in-time FFT.
 ///
 /// Computes `X[v] = Σ_k x[k]·exp(-j·2π·k·v/N)` for `N = data.len()`.
+/// This is a thin wrapper over this thread's cached [`FftPlan`]; hot loops
+/// that already hold a plan should call [`FftPlan::forward_in_place`]
+/// directly.
 ///
 /// # Errors
 ///
@@ -77,21 +309,17 @@ pub fn bit_reverse_permute(data: &mut [Cplx]) {
 /// # }
 /// ```
 pub fn fft_in_place(data: &mut [Cplx]) -> Result<(), DspError> {
-    transform_in_place(data, Direction::Forward)
+    cached_plan(data.len())?.forward_in_place(data)
 }
 
-/// In-place inverse FFT, including the `1/N` normalisation.
+/// In-place inverse FFT, including the `1/N` normalisation (a thin wrapper
+/// over this thread's cached [`FftPlan`]).
 ///
 /// # Errors
 ///
 /// Returns [`DspError::NotPowerOfTwo`] if the length is not a power of two.
 pub fn ifft_in_place(data: &mut [Cplx]) -> Result<(), DspError> {
-    transform_in_place(data, Direction::Inverse)?;
-    let n = data.len() as f64;
-    for value in data.iter_mut() {
-        *value = *value / n;
-    }
-    Ok(())
+    cached_plan(data.len())?.inverse_in_place(data)
 }
 
 /// Convenience wrapper returning a new vector instead of transforming in place.
@@ -114,46 +342,6 @@ pub fn ifft(input: &[Cplx]) -> Result<Vec<Cplx>, DspError> {
     let mut data = input.to_vec();
     ifft_in_place(&mut data)?;
     Ok(data)
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Direction {
-    Forward,
-    Inverse,
-}
-
-fn transform_in_place(data: &mut [Cplx], direction: Direction) -> Result<(), DspError> {
-    let n = data.len();
-    if !is_power_of_two(n) {
-        return Err(DspError::NotPowerOfTwo { length: n });
-    }
-    if n == 1 {
-        return Ok(());
-    }
-    bit_reverse_permute(data);
-
-    let sign = match direction {
-        Direction::Forward => -1.0,
-        Direction::Inverse => 1.0,
-    };
-
-    let mut len = 2;
-    while len <= n {
-        let angle_step = sign * 2.0 * PI / len as f64;
-        let w_len = Cplx::cis(angle_step);
-        for start in (0..n).step_by(len) {
-            let mut w = Cplx::ONE;
-            for offset in 0..len / 2 {
-                let even = data[start + offset];
-                let odd = data[start + offset + len / 2] * w;
-                data[start + offset] = even + odd;
-                data[start + offset + len / 2] = even - odd;
-                w *= w_len;
-            }
-        }
-        len <<= 1;
-    }
-    Ok(())
 }
 
 /// Direct O(N²) DFT used as a golden model for testing the FFT.
@@ -191,8 +379,57 @@ pub fn block_spectrum(
     block_len: usize,
     window: Window,
 ) -> Result<Vec<Cplx>, DspError> {
-    if !is_power_of_two(block_len) {
-        return Err(DspError::NotPowerOfTwo { length: block_len });
+    let plan = cached_plan(block_len)?;
+    let coeffs = window.coefficients(block_len);
+    block_spectrum_with_plan(signal, start, &plan, &coeffs)
+}
+
+/// The allocation-conscious core of [`block_spectrum`]: the caller supplies
+/// the [`FftPlan`] and the window coefficients, so repeated evaluation
+/// (every block of every trial of a sweep) pays for neither twiddle nor
+/// window recomputation. [`block_spectrum`] and the DSCF engine both route
+/// through this function, which keeps their spectra bit-identical.
+///
+/// # Errors
+///
+/// * [`DspError::InsufficientSamples`] if the signal does not contain
+///   `start + plan.len()` samples,
+/// * [`DspError::InvalidParameter`] if the window coefficient slice does
+///   not match the plan length.
+pub fn block_spectrum_with_plan(
+    signal: &[Cplx],
+    start: usize,
+    plan: &FftPlan,
+    window_coeffs: &[f64],
+) -> Result<Vec<Cplx>, DspError> {
+    let mut block = Vec::with_capacity(plan.len());
+    block_spectrum_into(signal, start, plan, window_coeffs, &mut block)?;
+    Ok(block)
+}
+
+/// [`block_spectrum_with_plan`] writing into a caller-owned buffer, so hot
+/// loops (a sweep worker re-evaluating the same block layout every trial)
+/// reuse the spectrum allocation instead of reallocating per block.
+///
+/// # Errors
+///
+/// Same contract as [`block_spectrum_with_plan`].
+pub fn block_spectrum_into(
+    signal: &[Cplx],
+    start: usize,
+    plan: &FftPlan,
+    window_coeffs: &[f64],
+    out: &mut Vec<Cplx>,
+) -> Result<(), DspError> {
+    let block_len = plan.len();
+    if window_coeffs.len() != block_len {
+        return Err(DspError::InvalidParameter {
+            name: "window_coeffs",
+            message: format!(
+                "window has {} coefficients, plan length is {block_len}",
+                window_coeffs.len()
+            ),
+        });
     }
     if start + block_len > signal.len() {
         return Err(DspError::InsufficientSamples {
@@ -200,19 +437,17 @@ pub fn block_spectrum(
             available: signal.len(),
         });
     }
-    let coeffs = window.coefficients(block_len);
-    let mut block: Vec<Cplx> = signal[start..start + block_len]
-        .iter()
-        .zip(coeffs.iter())
-        .map(|(&x, &w)| x * w)
-        .collect();
-    fft_in_place(&mut block)?;
+    out.clear();
+    out.extend(
+        signal[start..start + block_len]
+            .iter()
+            .zip(window_coeffs.iter())
+            .map(|(&x, &w)| x * w),
+    );
+    plan.forward_in_place(out)?;
     // Phase rotation from the absolute-time exponent of eq. 2.
-    for (v, value) in block.iter_mut().enumerate() {
-        let phase = -2.0 * PI * (start as f64) * (v as f64) / block_len as f64;
-        *value *= Cplx::cis(phase);
-    }
-    Ok(block)
+    plan.rotate_block_phase(start, out);
+    Ok(())
 }
 
 /// Number of complex multiplications of a radix-2 FFT of length `n`:
@@ -383,6 +618,66 @@ mod tests {
         assert!(matches!(
             block_spectrum(&signal, 20, 32, Window::Rectangular),
             Err(DspError::InsufficientSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_matches_naive_dft_and_rejects_mismatched_buffers() {
+        let plan = FftPlan::new(16).unwrap();
+        assert_eq!(plan.len(), 16);
+        assert!(!plan.is_empty());
+        let data: Vec<Cplx> = (0..16)
+            .map(|k| Cplx::new((k as f64).sin(), 0.2 * k as f64))
+            .collect();
+        let mut fast = data.clone();
+        plan.forward_in_place(&mut fast).unwrap();
+        assert_spectra_close(&fast, &dft_naive(&data), 1e-9);
+        plan.inverse_in_place(&mut fast).unwrap();
+        assert_spectra_close(&fast, &data, 1e-10);
+        let mut wrong = vec![Cplx::ZERO; 8];
+        assert!(plan.forward_in_place(&mut wrong).is_err());
+        assert!(plan.inverse_in_place(&mut wrong).is_err());
+        assert!(matches!(
+            FftPlan::new(12),
+            Err(DspError::NotPowerOfTwo { length: 12 })
+        ));
+    }
+
+    #[test]
+    fn cached_plan_is_shared_within_a_thread() {
+        let a = cached_plan(64).unwrap();
+        let b = cached_plan(64).unwrap();
+        assert!(Rc::ptr_eq(&a, &b));
+        assert!(cached_plan(10).is_err());
+    }
+
+    #[test]
+    fn rotate_block_phase_reduces_the_exponent_exactly() {
+        let k = 32usize;
+        let plan = FftPlan::new(k).unwrap();
+        let data: Vec<Cplx> = (0..k).map(|v| Cplx::new(1.0 + v as f64, -0.5)).collect();
+        // A start beyond the block length must behave as start mod K.
+        let start = 17 + 2 * k;
+        let mut rotated = data.clone();
+        plan.rotate_block_phase(start, &mut rotated);
+        for (v, (&got, &x)) in rotated.iter().zip(data.iter()).enumerate() {
+            let expected = x * Cplx::cis(-2.0 * PI * ((start * v) % k) as f64 / k as f64);
+            assert!((got - expected).abs() < 1e-12, "bin {v}");
+        }
+        // start = 0 is the identity.
+        let mut same = data.clone();
+        plan.rotate_block_phase(0, &mut same);
+        assert_eq!(same, data);
+    }
+
+    #[test]
+    fn block_spectrum_with_plan_rejects_mismatched_window() {
+        let plan = FftPlan::new(16).unwrap();
+        let signal = vec![Cplx::ONE; 32];
+        let coeffs = Window::Rectangular.coefficients(8);
+        assert!(matches!(
+            block_spectrum_with_plan(&signal, 0, &plan, &coeffs),
+            Err(DspError::InvalidParameter { .. })
         ));
     }
 

@@ -63,10 +63,10 @@ pub mod prelude {
         EnergyDetector,
     };
     pub use crate::error::DspError;
-    pub use crate::fft::{fft, fft_in_place, ifft, ifft_in_place};
+    pub use crate::fft::{fft, fft_in_place, ifft, ifft_in_place, FftPlan};
     pub use crate::fixed::Q15;
     pub use crate::metrics::{OperatingPoint, RocCurve, Scenario};
-    pub use crate::scf::{dscf_from_spectra, dscf_reference, ScfMatrix, ScfParams};
+    pub use crate::scf::{dscf_from_spectra, dscf_reference, ScfEngine, ScfMatrix, ScfParams};
     pub use crate::signal::{
         awgn, complex_tone, frequency_shift, modulated_signal, ModulatedSignalSpec, Observation,
         SignalBuilder, SymbolModulation,

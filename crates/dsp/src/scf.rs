@@ -13,11 +13,13 @@
 //!
 //! [`dscf_reference`] is the golden model implemented directly from eq. 3;
 //! it is what the mapped/folded/simulated implementations in the other
-//! crates are checked against.
+//! crates are checked against. [`ScfEngine`] is the fast software kernel:
+//! table-driven, symmetry-halved and allocation-reusing, bit-identical to
+//! the golden model.
 
 use crate::complex::Cplx;
 use crate::error::DspError;
-use crate::fft::block_spectrum;
+use crate::fft::{block_spectrum, block_spectrum_into, FftPlan};
 use crate::window::Window;
 use std::fmt;
 
@@ -284,17 +286,32 @@ impl ScfMatrix {
     /// Cyclostationary signals show peaks at non-zero `a`; stationary noise
     /// concentrates its energy at `a = 0`.
     pub fn cyclic_profile(&self) -> Vec<f64> {
-        let m = self.max_offset as i32;
-        (-m..=m)
-            .map(|a| (-m..=m).map(|f| self.at(f, a).abs()).fold(0.0, f64::max))
-            .collect()
+        // One pass over the flat row-major buffer (rows = f, columns = a)
+        // instead of P² bounds-checked `at()` lookups.
+        let p = self.grid_size();
+        let mut profile = vec![0.0f64; p];
+        for row in self.values.chunks_exact(p) {
+            for (best, value) in profile.iter_mut().zip(row) {
+                let magnitude = value.abs();
+                if magnitude > *best {
+                    *best = magnitude;
+                }
+            }
+        }
+        profile
     }
 
     /// The power spectral density estimate along `a = 0`
     /// (`S_f^0 = (1/N)·Σ|X_{n,f}|²`), indexed by `f + M`.
     pub fn psd(&self) -> Vec<f64> {
-        let m = self.max_offset as i32;
-        (-m..=m).map(|f| self.at(f, 0).abs()).collect()
+        // The a = 0 column is every grid_size()-th element of the flat
+        // buffer starting at column offset M.
+        self.values
+            .iter()
+            .skip(self.max_offset)
+            .step_by(self.grid_size())
+            .map(|v| v.abs())
+            .collect()
     }
 }
 
@@ -393,6 +410,240 @@ pub fn dscf_from_spectra(spectra: &[Vec<Cplx>], params: &ScfParams) -> ScfMatrix
         matrix.scale(1.0 / spectra.len() as f64);
     }
     matrix
+}
+
+/// The fast software DSCF kernel: table-driven, symmetry-halved, and
+/// allocation-reusing.
+///
+/// [`dscf_reference`] is deliberately a transliteration of eq. 3, and its
+/// hot loop pays for that honesty at every one of the `P²` grid points:
+/// two `%` operations inside [`centred_bin`], a bounds-checked
+/// `flat_index` with a panicking unwrap, and a full evaluation of the
+/// `a < 0` half even though `S_f^{-a} = conj(S_f^a)` (a property this
+/// module property-tests). An `ScfEngine` precomputes everything that
+/// depends only on the [`ScfParams`], once:
+///
+/// * an [`FftPlan`] and the analysis-window coefficients, shared by every
+///   block of every observation ([`ScfEngine::compute_spectra`] routes
+///   through [`block_spectrum_with_plan`], the same code path
+///   [`block_spectrum`] uses, so engine spectra are bit-identical to the
+///   golden model's);
+/// * the [`centred_bin`] index tables `bin(f+a)` / `bin(f-a)` for the
+///   `a ≥ 0` half-grid, so the accumulation loop is a straight
+///   multiply–accumulate over precomputed `u32` indices with no modular
+///   arithmetic and no per-point panic machinery;
+/// * row-major accumulation directly into the flat matrix buffer; the
+///   `a < 0` half is mirrored once at the end by conjugation, halving the
+///   multiply count (for a 127×127 grid: 127·64 = 8 128 products per block
+///   instead of 16 129).
+///
+/// [`ScfEngine::compute_into`] re-integrates into an existing
+/// [`ScfMatrix`], so Monte-Carlo sweeps reuse one matrix allocation across
+/// all trials.
+///
+/// The mirrored half is *exactly* the conjugate of the computed half in
+/// IEEE arithmetic (conjugation commutes exactly with the complex
+/// multiply–accumulate used here), and the `a ≥ 0` half performs the same
+/// operations in the same order as the reference — so the engine is
+/// bit-identical to [`dscf_reference`], not merely close. Tests assert a
+/// max abs difference ≤ 1e-12; in practice it is 0.0.
+///
+/// # Examples
+///
+/// ```
+/// use cfd_dsp::scf::{dscf_reference, ScfEngine, ScfParams};
+/// use cfd_dsp::signal::awgn;
+///
+/// # fn main() -> Result<(), cfd_dsp::error::DspError> {
+/// let params = ScfParams::new(32, 7, 4)?;
+/// let signal = awgn(params.samples_needed(), 1.0, 11);
+/// let engine = ScfEngine::new(params.clone())?;
+/// let fast = engine.compute(&signal)?;
+/// let golden = dscf_reference(&signal, &params)?;
+/// assert!(fast.max_abs_difference(&golden) <= 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ScfEngine {
+    params: ScfParams,
+    plan: FftPlan,
+    window_coeffs: Vec<f64>,
+    /// `plus[row·(M+1) + a] = centred_bin(f + a, K)` for `f = row - M`,
+    /// `a ∈ 0..=M`.
+    plus: Vec<u32>,
+    /// `minus[row·(M+1) + a] = centred_bin(f - a, K)`.
+    minus: Vec<u32>,
+}
+
+/// Engines are equal iff their parameters are equal: every table is a pure
+/// function of the [`ScfParams`].
+impl PartialEq for ScfEngine {
+    fn eq(&self, other: &Self) -> bool {
+        self.params == other.params
+    }
+}
+
+impl ScfEngine {
+    /// Builds an engine for `params`, precomputing the FFT plan, window
+    /// coefficients and both half-grid index tables.
+    ///
+    /// # Errors
+    ///
+    /// * [`DspError::InvalidParameter`] for invalid parameters,
+    /// * [`DspError::NotPowerOfTwo`] if `fft_len` is not a power of two.
+    pub fn new(params: ScfParams) -> Result<Self, DspError> {
+        params.validate()?;
+        let plan = FftPlan::new(params.fft_len)?;
+        let window_coeffs = params.window.coefficients(params.fft_len);
+        let m = params.max_offset as i32;
+        let k = params.fft_len;
+        let half = params.max_offset + 1;
+        let p = params.grid_size();
+        let mut plus = Vec::with_capacity(p * half);
+        let mut minus = Vec::with_capacity(p * half);
+        for f in -m..=m {
+            for a in 0..=m {
+                plus.push(centred_bin(f + a, k) as u32);
+                minus.push(centred_bin(f - a, k) as u32);
+            }
+        }
+        Ok(ScfEngine {
+            params,
+            plan,
+            window_coeffs,
+            plus,
+            minus,
+        })
+    }
+
+    /// The parameters this engine was built for.
+    pub fn params(&self) -> &ScfParams {
+        &self.params
+    }
+
+    /// Computes the block spectra `X_{n,v}` of eq. 2 using the cached plan
+    /// and window coefficients. Bit-identical to [`block_spectra`].
+    ///
+    /// # Errors
+    ///
+    /// [`DspError::InsufficientSamples`] if the signal is too short.
+    pub fn compute_spectra(&self, signal: &[Cplx]) -> Result<Vec<Vec<Cplx>>, DspError> {
+        let mut spectra = Vec::with_capacity(self.params.num_blocks);
+        self.compute_spectra_into(signal, &mut spectra)?;
+        Ok(spectra)
+    }
+
+    /// [`ScfEngine::compute_spectra`] writing into caller-owned buffers:
+    /// `out` is resized to `num_blocks` and every inner spectrum reuses its
+    /// allocation, so sweep workers recompute spectra trial after trial
+    /// without churning the allocator.
+    ///
+    /// # Errors
+    ///
+    /// [`DspError::InsufficientSamples`] if the signal is too short.
+    pub fn compute_spectra_into(
+        &self,
+        signal: &[Cplx],
+        out: &mut Vec<Vec<Cplx>>,
+    ) -> Result<(), DspError> {
+        if signal.len() < self.params.samples_needed() {
+            return Err(DspError::InsufficientSamples {
+                needed: self.params.samples_needed(),
+                available: signal.len(),
+            });
+        }
+        out.truncate(self.params.num_blocks);
+        while out.len() < self.params.num_blocks {
+            out.push(Vec::with_capacity(self.params.fft_len));
+        }
+        for (n, block) in out.iter_mut().enumerate() {
+            block_spectrum_into(
+                signal,
+                n * self.params.block_stride,
+                &self.plan,
+                &self.window_coeffs,
+                block,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Evaluates eq. 3 from precomputed block spectra into `out`, reusing
+    /// its allocation (the matrix is resized only if its grid differs).
+    ///
+    /// Only the `a ≥ 0` half is accumulated; the `a < 0` half is filled by
+    /// conjugation after the `1/N` normalisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block is shorter than `params.fft_len` (same contract
+    /// as [`dscf_from_spectra`]).
+    pub fn dscf_from_spectra_into(&self, spectra: &[Vec<Cplx>], out: &mut ScfMatrix) {
+        let m = self.params.max_offset;
+        let p = self.params.grid_size();
+        let half = m + 1;
+        let k = self.params.fft_len;
+        if out.max_offset != m {
+            *out = ScfMatrix::zeros(m);
+        } else {
+            out.values.fill(Cplx::ZERO);
+        }
+        for block in spectra {
+            assert!(
+                block.len() >= k,
+                "block spectrum shorter ({}) than fft_len ({k})",
+                block.len()
+            );
+            let block = &block[..k];
+            for row in 0..p {
+                let plus = &self.plus[row * half..(row + 1) * half];
+                let minus = &self.minus[row * half..(row + 1) * half];
+                let out_row = &mut out.values[row * p + m..(row + 1) * p];
+                for ((acc, &ip), &im) in out_row.iter_mut().zip(plus).zip(minus) {
+                    *acc += block[ip as usize] * block[im as usize].conj();
+                }
+            }
+        }
+        if !spectra.is_empty() {
+            let scale = 1.0 / spectra.len() as f64;
+            for row_vals in out.values.chunks_exact_mut(p) {
+                for value in &mut row_vals[m..] {
+                    *value = *value * scale;
+                }
+                for a in 1..=m {
+                    row_vals[m - a] = row_vals[m + a].conj();
+                }
+            }
+        }
+    }
+
+    /// Full evaluation (spectra + eq. 3) into an existing matrix, reusing
+    /// the matrix allocation across calls. The intermediate spectra are
+    /// still allocated per call; loops that want zero steady-state
+    /// allocation should hold their own spectra scratch and pair
+    /// [`ScfEngine::compute_spectra_into`] with
+    /// [`ScfEngine::dscf_from_spectra_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`DspError::InsufficientSamples`] if the signal is too short.
+    pub fn compute_into(&self, signal: &[Cplx], out: &mut ScfMatrix) -> Result<(), DspError> {
+        let spectra = self.compute_spectra(signal)?;
+        self.dscf_from_spectra_into(&spectra, out);
+        Ok(())
+    }
+
+    /// Full evaluation into a freshly allocated matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`DspError::InsufficientSamples`] if the signal is too short.
+    pub fn compute(&self, signal: &[Cplx]) -> Result<ScfMatrix, DspError> {
+        let mut out = ScfMatrix::zeros(self.params.max_offset);
+        self.compute_into(signal, &mut out)?;
+        Ok(out)
+    }
 }
 
 /// The spectral autocoherence magnitude
@@ -605,6 +856,83 @@ mod tests {
         b.set(0, 0, b.at(0, 0) + Cplx::new(0.5, 0.0));
         assert!((a.max_abs_difference(&b) - 0.5).abs() < 1e-12);
         assert!(a.to_string().contains("7x7"));
+    }
+
+    #[test]
+    fn engine_is_bit_identical_to_reference() {
+        // Overlapping blocks and a tapered window exercise every table.
+        let params = ScfParams::new(64, 15, 6)
+            .unwrap()
+            .with_stride(32)
+            .with_window(Window::Hann);
+        let spec = ModulatedSignalSpec {
+            samples_per_symbol: 4,
+            ..Default::default()
+        };
+        let signal = modulated_signal(params.samples_needed(), &spec, 5).unwrap();
+        let reference = dscf_reference(&signal, &params).unwrap();
+        let engine = ScfEngine::new(params.clone()).unwrap();
+        assert_eq!(engine.params(), &params);
+        let fast = engine.compute(&signal).unwrap();
+        assert!(fast.max_abs_difference(&reference) <= 1e-12);
+        // Engine spectra equal the golden-model spectra bit for bit.
+        let golden_spectra = block_spectra(&signal, &params).unwrap();
+        assert_eq!(engine.compute_spectra(&signal).unwrap(), golden_spectra);
+    }
+
+    #[test]
+    fn engine_compute_into_reuses_and_resizes_the_matrix() {
+        let params = ScfParams::new(32, 7, 3).unwrap();
+        let signal = awgn(params.samples_needed(), 1.0, 23);
+        let engine = ScfEngine::new(params.clone()).unwrap();
+        let reference = dscf_reference(&signal, &params).unwrap();
+        // A wrong-sized matrix is resized; a right-sized dirty one is
+        // cleanly overwritten on re-integration.
+        let mut out = ScfMatrix::zeros(2);
+        engine.compute_into(&signal, &mut out).unwrap();
+        assert_eq!(out.max_offset(), 7);
+        assert!(out.max_abs_difference(&reference) <= 1e-12);
+        out.set(0, 0, Cplx::new(123.0, -4.0));
+        engine.compute_into(&signal, &mut out).unwrap();
+        assert!(out.max_abs_difference(&reference) <= 1e-12);
+    }
+
+    #[test]
+    fn engine_rejects_bad_inputs() {
+        assert!(ScfEngine::new(ScfParams {
+            fft_len: 12, // not a power of two
+            max_offset: 3,
+            num_blocks: 1,
+            block_stride: 12,
+            window: Window::Rectangular,
+        })
+        .is_err());
+        assert!(ScfEngine::new(ScfParams {
+            fft_len: 16,
+            max_offset: 8, // 2*8 >= 16
+            num_blocks: 1,
+            block_stride: 16,
+            window: Window::Rectangular,
+        })
+        .is_err());
+        let engine = ScfEngine::new(ScfParams::new(32, 7, 4).unwrap()).unwrap();
+        let short = vec![Cplx::ZERO; 10];
+        assert!(matches!(
+            engine.compute(&short),
+            Err(DspError::InsufficientSamples { .. })
+        ));
+        // Engine equality is parameter equality.
+        let other = ScfEngine::new(ScfParams::new(32, 7, 8).unwrap()).unwrap();
+        assert_ne!(engine, other);
+        assert_eq!(engine, engine.clone());
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter")]
+    fn engine_panics_on_short_spectra_blocks() {
+        let engine = ScfEngine::new(ScfParams::new(16, 3, 1).unwrap()).unwrap();
+        let mut out = ScfMatrix::zeros(3);
+        engine.dscf_from_spectra_into(&[vec![Cplx::ZERO; 8]], &mut out);
     }
 
     #[test]

@@ -24,6 +24,23 @@
 //! booleans, and the per-cell detection counts are merged by integer
 //! addition — so [`evaluate_sweep`] is bit-identical to
 //! [`evaluate_sweep_serial`] for every worker count.
+//!
+//! ## Shared block spectra
+//!
+//! The dominant cost of a CFD trial is the windowed FFT + DSCF pipeline,
+//! and the block spectra (eq. 2) depend only on the observation and the
+//! [`ScfParams`] — not on a detector's threshold or guard zone. Both
+//! execution paths therefore wrap each observation in a [`SharedSpectra`]
+//! and drive replicas through [`SweepDetector::decide_from_spectra`]: the
+//! spectra are computed **once per trial** per distinct `ScfParams` and
+//! every golden-model CFD replica in the roster reuses them (decisions are
+//! identical to the raw-sample path — the engine's spectra are
+//! bit-identical to what `decide` computes internally). The energy
+//! detector's statistic is time-domain power (it never ran an FFT), and a
+//! SoC replica's simulated front-end computes its own on-tile spectra by
+//! design — both simply read the raw samples. The global
+//! [`shared_spectra_computations`] counter lets tests pin the
+//! once-per-trial contract.
 
 use crate::channel::mix_seed;
 use crate::error::ScenarioError;
@@ -34,9 +51,165 @@ use cfd_dsp::complex::Cplx;
 use cfd_dsp::detector::{
     feature_statistic, CyclostationaryDetector, Detector, DetectorFactory, EnergyDetector,
 };
-use cfd_dsp::scf::{dscf_reference, ScfParams};
+use cfd_dsp::scf::{ScfEngine, ScfMatrix, ScfParams};
 use cfd_dsp::signal::awgn;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone global count of block-spectra computations performed through
+/// the shared-spectra path ([`SharedSpectra::spectra_for`]).
+static SPECTRA_COMPUTATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of block-spectra computations performed by the
+/// shared-spectra path since process start, across all threads.
+///
+/// This exists so tests can pin the sweep engine's contract — spectra are
+/// computed **once per trial**, not once per detector replica — by
+/// measuring the delta around a sweep. It is monotone and global; measure
+/// deltas in isolation (other concurrent sweeps also increment it).
+pub fn shared_spectra_computations() -> u64 {
+    SPECTRA_COMPUTATIONS.load(Ordering::Relaxed)
+}
+
+/// One per-`ScfParams` buffer set: the block spectra and the DSCF matrix,
+/// plus validity flags for the current observation. The allocations
+/// persist across observations; only the flags are reset.
+#[derive(Debug)]
+struct SharedEntry {
+    params: ScfParams,
+    spectra: Vec<Vec<Cplx>>,
+    spectra_valid: bool,
+    scf: ScfMatrix,
+    scf_valid: bool,
+}
+
+/// The reusable buffers behind [`SharedSpectra`], owned per sweep worker
+/// (or per serial sweep) and reused across every trial it processes.
+///
+/// A workspace keeps one [`ScfParams`]-keyed entry per distinct parameter
+/// set seen, each holding the block-spectra buffers and the DSCF matrix;
+/// [`SpectraWorkspace::observation`] invalidates the entries for a new
+/// observation without freeing them, so steady-state sweep trials perform
+/// no spectra/matrix allocations at all.
+#[derive(Debug, Default)]
+pub struct SpectraWorkspace {
+    entries: Vec<SharedEntry>,
+}
+
+impl SpectraWorkspace {
+    /// An empty workspace; buffers are created on first use.
+    pub fn new() -> Self {
+        SpectraWorkspace::default()
+    }
+
+    /// Starts a new observation: all cached entries are marked stale (the
+    /// buffers are kept) and a [`SharedSpectra`] view over `samples` is
+    /// returned for the roster to decide through.
+    pub fn observation<'a>(&'a mut self, samples: &'a [Cplx]) -> SharedSpectra<'a> {
+        for entry in &mut self.entries {
+            entry.spectra_valid = false;
+            entry.scf_valid = false;
+        }
+        SharedSpectra {
+            samples,
+            workspace: self,
+        }
+    }
+}
+
+/// One observation plus its lazily computed block spectra (eq. 2) — and,
+/// one level up, the integrated DSCF matrix (eq. 3) — shared by every
+/// detector replica that decides on it.
+///
+/// Both caches are keyed by [`ScfParams`]: a roster with several CFD
+/// detectors at the same parameters computes the spectra **and** the DSCF
+/// once (thresholds and guard zones only affect the final statistic, not
+/// the matrix), and detectors at different parameters each get their own
+/// entry. Computation goes through the detector's own [`ScfEngine`], so
+/// the shared results are bit-identical to what the detector's raw-sample
+/// path would compute internally — which is what makes
+/// [`SweepDetector::decide_from_spectra`] decision-identical to
+/// [`SweepDetector::decide`]. The backing buffers live in a
+/// [`SpectraWorkspace`] and are reused across observations.
+#[derive(Debug)]
+pub struct SharedSpectra<'a> {
+    samples: &'a [Cplx],
+    workspace: &'a mut SpectraWorkspace,
+}
+
+impl<'a> SharedSpectra<'a> {
+    /// The raw observation samples.
+    pub fn samples(&self) -> &'a [Cplx] {
+        self.samples
+    }
+
+    /// Index of the workspace entry for `engine`'s parameters with valid
+    /// spectra for this observation, computing (and counting) them on
+    /// first request.
+    fn entry_index(&mut self, engine: &ScfEngine) -> Result<usize, ScenarioError> {
+        let entries = &mut self.workspace.entries;
+        let index = match entries
+            .iter()
+            .position(|entry| &entry.params == engine.params())
+        {
+            Some(index) => index,
+            None => {
+                entries.push(SharedEntry {
+                    params: engine.params().clone(),
+                    spectra: Vec::new(),
+                    spectra_valid: false,
+                    scf: ScfMatrix::zeros(engine.params().max_offset),
+                    scf_valid: false,
+                });
+                entries.len() - 1
+            }
+        };
+        let entry = &mut entries[index];
+        if !entry.spectra_valid {
+            engine.compute_spectra_into(self.samples, &mut entry.spectra)?;
+            entry.spectra_valid = true;
+            SPECTRA_COMPUTATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(index)
+    }
+
+    /// The block spectra for `engine`'s parameters, computed at most once
+    /// per observation and reused afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spectra computation errors (e.g. too few samples).
+    pub fn spectra_for(&mut self, engine: &ScfEngine) -> Result<&[Vec<Cplx>], ScenarioError> {
+        let index = self.entry_index(engine)?;
+        Ok(&self.workspace.entries[index].spectra)
+    }
+
+    /// The integrated DSCF matrix for `engine`'s parameters, computed (from
+    /// the shared spectra, into the workspace's reused matrix) at most once
+    /// per observation and shared by every replica at the same parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spectra computation errors (e.g. too few samples).
+    pub fn scf_for(&mut self, engine: &ScfEngine) -> Result<&ScfMatrix, ScenarioError> {
+        let index = self.entry_index(engine)?;
+        let entry = &mut self.workspace.entries[index];
+        if !entry.scf_valid {
+            engine.dscf_from_spectra_into(&entry.spectra, &mut entry.scf);
+            entry.scf_valid = true;
+        }
+        Ok(&entry.scf)
+    }
+
+    /// How many distinct spectra sets this observation has computed so far.
+    pub fn computed(&self) -> usize {
+        self.workspace
+            .entries
+            .iter()
+            .filter(|entry| entry.spectra_valid)
+            .count()
+    }
+}
 
 /// A detector replica that can be driven by the sweep engine.
 ///
@@ -49,11 +222,24 @@ use std::collections::HashMap;
 pub enum SweepDetector {
     /// The energy-detector baseline of Cabric et al. [7].
     Energy(EnergyDetector),
-    /// The golden-model cyclostationary feature detector.
-    Cyclostationary(CyclostationaryDetector),
+    /// The golden-model cyclostationary feature detector (boxed replica
+    /// state: detector plus reusable DSCF scratch matrix).
+    Cyclostationary(Box<CfdReplica>),
     /// The full sensing path on the simulated tiled SoC, configured once
     /// for the lifetime of the replica.
     TiledSoc(Box<SensingSession>),
+}
+
+/// Replica state of the golden-model CFD path: the calibrated detector
+/// (which owns the precomputed [`ScfEngine`]) plus a DSCF scratch matrix,
+/// so a replica allocates one matrix for its whole lifetime instead of one
+/// per decision.
+#[derive(Debug)]
+pub struct CfdReplica {
+    /// The calibrated detector.
+    pub detector: CyclostationaryDetector,
+    /// DSCF matrix reused across every decision of this replica.
+    pub scratch: ScfMatrix,
 }
 
 impl SweepDetector {
@@ -74,9 +260,36 @@ impl SweepDetector {
     pub fn decide(&mut self, samples: &[Cplx]) -> Result<bool, ScenarioError> {
         Ok(match self {
             SweepDetector::Energy(d) => d.detect(samples)?.decision.is_signal(),
-            SweepDetector::Cyclostationary(d) => d.detect(samples)?.decision.is_signal(),
+            SweepDetector::Cyclostationary(replica) => {
+                let CfdReplica { detector, scratch } = replica.as_mut();
+                detector.detect_into(samples, scratch)?.decision.is_signal()
+            }
             SweepDetector::TiledSoc(session) => session.decide(samples)?.decision.is_signal(),
         })
+    }
+
+    /// Runs one decision against an observation wrapped in a
+    /// [`SharedSpectra`], reusing (or computing exactly once) the block
+    /// spectra shared across every CFD replica of the roster. Decisions
+    /// are identical to [`SweepDetector::decide`] on the raw samples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector and platform errors.
+    pub fn decide_from_spectra(
+        &mut self,
+        shared: &mut SharedSpectra<'_>,
+    ) -> Result<bool, ScenarioError> {
+        match self {
+            SweepDetector::Cyclostationary(replica) => {
+                let scf = shared.scf_for(replica.detector.engine())?;
+                Ok(replica.detector.detect_from_scf(scf).decision.is_signal())
+            }
+            // The energy statistic is time-domain power; the SoC's
+            // simulated front-end computes its own on-tile spectra. Both
+            // decide straight from the raw samples.
+            _ => self.decide(shared.samples()),
+        }
     }
 
     /// Runs one decision per observation, in order. The SoC path streams
@@ -172,7 +385,9 @@ impl SweepDetectorFactory {
         Ok(match self {
             SweepDetectorFactory::Energy(d) => SweepDetector::Energy(d.build_detector()?),
             SweepDetectorFactory::Cyclostationary(d) => {
-                SweepDetector::Cyclostationary(d.build_detector()?)
+                let detector = d.build_detector()?;
+                let scratch = ScfMatrix::zeros(detector.params().max_offset);
+                SweepDetector::Cyclostationary(Box::new(CfdReplica { detector, scratch }))
             }
             SweepDetectorFactory::TiledSoc {
                 application,
@@ -522,13 +737,20 @@ pub fn evaluate_sweep_with_workers(
                         return;
                     }
                 };
+                let mut workspace = SpectraWorkspace::new();
                 while let Ok(cell) = cell_rx.recv() {
                     // The sweep already failed: drain the queue without
                     // paying for cells whose counts would be discarded.
                     if failed.load(std::sync::atomic::Ordering::Relaxed) {
                         continue;
                     }
-                    let message = match evaluate_cell(scenario, scenarios_at, &mut replicas, cell) {
+                    let message = match evaluate_cell(
+                        scenario,
+                        scenarios_at,
+                        &mut replicas,
+                        &mut workspace,
+                        cell,
+                    ) {
                         Ok(positives) => WorkerMessage::Counts { cell, positives },
                         Err(error) => {
                             failed.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -594,11 +816,13 @@ pub fn evaluate_sweep_serial(
         .iter()
         .map(SweepDetectorFactory::build)
         .collect::<Result<Vec<_>, _>>()?;
+    let mut workspace = SpectraWorkspace::new();
     let mut false_alarms = vec![0usize; detectors.len()];
     for trial in 0..sweep.trials {
         let h0 = scenario.observe(Hypothesis::Vacant, trial)?;
+        let mut shared = workspace.observation(&h0.samples);
         for (index, detector) in replicas.iter_mut().enumerate() {
-            if detector.decide(&h0.samples)? {
+            if detector.decide_from_spectra(&mut shared)? {
                 false_alarms[index] += 1;
             }
         }
@@ -608,8 +832,9 @@ pub fn evaluate_sweep_serial(
         let at_snr = scenario.at_snr(snr_db);
         for trial in 0..sweep.trials {
             let h1 = at_snr.observe(Hypothesis::Occupied, trial)?;
+            let mut shared = workspace.observation(&h1.samples);
             for (index, detector) in replicas.iter_mut().enumerate() {
-                if detector.decide(&h1.samples)? {
+                if detector.decide_from_spectra(&mut shared)? {
                     detections[point][index] += 1;
                 }
             }
@@ -618,33 +843,35 @@ pub fn evaluate_sweep_serial(
     Ok(assemble_table(sweep, &labels, &false_alarms, &detections))
 }
 
-/// Evaluates one work cell on a worker's replicas: generates the cell's
-/// observations and batches them through every detector, returning the
+/// Evaluates one work cell on a worker's replicas: generates each of the
+/// cell's observations in turn, opens a [`SharedSpectra`] view over it in
+/// the worker's [`SpectraWorkspace`], and lets every detector decide — so
+/// the block spectra (and the DSCF) are computed once per observation, not
+/// once per replica, into buffers reused across the whole cell (and across
+/// cells: the workspace belongs to the worker). Returns the
 /// positive-decision count per detector.
 fn evaluate_cell(
     scenario: &RadioScenario,
     scenarios_at: &[RadioScenario],
     replicas: &mut [SweepDetector],
+    workspace: &mut SpectraWorkspace,
     cell: SweepCell,
 ) -> Result<Vec<usize>, ScenarioError> {
     let (source, hypothesis) = match cell.point {
         None => (scenario, Hypothesis::Vacant),
         Some(p) => (&scenarios_at[p], Hypothesis::Occupied),
     };
-    let observations = (cell.first_trial..cell.first_trial + cell.trials)
-        .map(|trial| source.observe(hypothesis, trial))
-        .collect::<Result<Vec<_>, _>>()?;
-    let batch: Vec<&[Cplx]> = observations.iter().map(|o| o.samples.as_slice()).collect();
-    replicas
-        .iter_mut()
-        .map(|detector| {
-            Ok(detector
-                .decide_batch(&batch)?
-                .into_iter()
-                .filter(|&occupied| occupied)
-                .count())
-        })
-        .collect()
+    let mut positives = vec![0usize; replicas.len()];
+    for trial in cell.first_trial..cell.first_trial + cell.trials {
+        let observation = source.observe(hypothesis, trial)?;
+        let mut shared = workspace.observation(&observation.samples);
+        for (index, detector) in replicas.iter_mut().enumerate() {
+            if detector.decide_from_spectra(&mut shared)? {
+                positives[index] += 1;
+            }
+        }
+    }
+    Ok(positives)
 }
 
 /// Builds the final table from merged counts, in deterministic
@@ -735,6 +962,12 @@ pub fn calibrate_cfd_threshold(
             message: "calibration needs at least one trial".into(),
         });
     }
+    // The engine is bit-identical to `dscf_reference`, so thresholds
+    // calibrated here are exactly the thresholds the golden model implies;
+    // the spectra and matrix allocations are reused across all trials.
+    let engine = ScfEngine::new(params.clone())?;
+    let mut spectra = Vec::new();
+    let mut scf = ScfMatrix::zeros(params.max_offset);
     let mut statistics = Vec::with_capacity(trials);
     for trial in 0..trials {
         let noise = awgn(
@@ -742,7 +975,8 @@ pub fn calibrate_cfd_threshold(
             1.0,
             mix_seed(seed, 0xCA11_B8A7 ^ trial as u64),
         );
-        let scf = dscf_reference(&noise, params)?;
+        engine.compute_spectra_into(&noise, &mut spectra)?;
+        engine.dscf_from_spectra_into(&spectra, &mut scf);
         statistics.push(feature_statistic(&scf, guard_offsets));
     }
     statistics.sort_by(|a, b| a.partial_cmp(b).expect("finite statistic"));
@@ -853,6 +1087,88 @@ mod tests {
         assert_eq!(replica.configurations(), Some(1));
         // Golden-model detectors have no platform to configure.
         assert_eq!(cfd_factory(0.35).build().unwrap().configurations(), None);
+    }
+
+    #[test]
+    fn shared_spectra_are_computed_once_per_params() {
+        let scenario = small_scenario();
+        let observation = scenario.observe(Hypothesis::Occupied, 0).unwrap();
+        let mut workspace = SpectraWorkspace::new();
+        let mut shared = workspace.observation(&observation.samples);
+        assert_eq!(shared.computed(), 0);
+        assert_eq!(shared.samples().len(), observation.samples.len());
+
+        // Two CFD replicas with the same params but different thresholds
+        // share one spectra set; a third with different params adds one.
+        let mut same_a = cfd_factory(0.2).build().unwrap();
+        let mut same_b = cfd_factory(0.8).build().unwrap();
+        let mut other = SweepDetectorFactory::Cyclostationary(
+            CyclostationaryDetector::new(ScfParams::new(32, 7, 16).unwrap(), 0.35, 1).unwrap(),
+        )
+        .build()
+        .unwrap();
+        same_a.decide_from_spectra(&mut shared).unwrap();
+        assert_eq!(shared.computed(), 1);
+        same_b.decide_from_spectra(&mut shared).unwrap();
+        assert_eq!(shared.computed(), 1);
+        other.decide_from_spectra(&mut shared).unwrap();
+        assert_eq!(shared.computed(), 2);
+        // Same-params requests return the cached spectra without a
+        // recomputation.
+        let engine = match &same_a {
+            SweepDetector::Cyclostationary(replica) => replica.detector.engine().clone(),
+            _ => unreachable!("cfd factory builds a cfd replica"),
+        };
+        assert_eq!(shared.spectra_for(&engine).unwrap().len(), 32);
+        assert_eq!(shared.computed(), 2);
+        // The energy detector reads the samples, not the spectra.
+        let mut energy = SweepDetectorFactory::Energy(
+            EnergyDetector::new(1.0, 0.05, observation.samples.len()).unwrap(),
+        )
+        .build()
+        .unwrap();
+        energy.decide_from_spectra(&mut shared).unwrap();
+        assert_eq!(shared.computed(), 2);
+
+        // A new observation on the same workspace keeps the buffers but
+        // invalidates the cached results.
+        let next = scenario.observe(Hypothesis::Vacant, 1).unwrap();
+        let mut shared = workspace.observation(&next.samples);
+        assert_eq!(shared.computed(), 0);
+        same_a.decide_from_spectra(&mut shared).unwrap();
+        assert_eq!(shared.computed(), 1);
+    }
+
+    #[test]
+    fn decide_from_spectra_is_decision_identical_to_decide() {
+        let scenario = small_scenario();
+        let factories = [
+            SweepDetectorFactory::Energy(
+                EnergyDetector::new(1.0, 0.05, scenario.observation_len).unwrap(),
+            ),
+            cfd_factory(0.35),
+            soc_factory(0.35),
+        ];
+        for trial in 0..3 {
+            let hypothesis = if trial % 2 == 0 {
+                Hypothesis::Occupied
+            } else {
+                Hypothesis::Vacant
+            };
+            let observation = scenario.observe(hypothesis, trial).unwrap();
+            for factory in &factories {
+                let mut via_samples = factory.build().unwrap();
+                let mut via_spectra = factory.build().unwrap();
+                let mut workspace = SpectraWorkspace::new();
+                let mut shared = workspace.observation(&observation.samples);
+                assert_eq!(
+                    via_samples.decide(&observation.samples).unwrap(),
+                    via_spectra.decide_from_spectra(&mut shared).unwrap(),
+                    "{} diverged on trial {trial}",
+                    factory.label()
+                );
+            }
+        }
     }
 
     #[test]

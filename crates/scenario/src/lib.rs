@@ -68,8 +68,9 @@ pub mod signal;
 pub use channel::{ChannelPipeline, ChannelStage};
 pub use error::ScenarioError;
 pub use eval::{
-    evaluate_sweep, evaluate_sweep_serial, evaluate_sweep_with_workers, RocRow, RocTable, SnrSweep,
-    SweepDetector, SweepDetectorFactory,
+    evaluate_sweep, evaluate_sweep_serial, evaluate_sweep_with_workers,
+    shared_spectra_computations, CfdReplica, RocRow, RocTable, SharedSpectra, SnrSweep,
+    SpectraWorkspace, SweepDetector, SweepDetectorFactory,
 };
 pub use scenario::{Hypothesis, RadioScenario, ScenarioObservation};
 pub use signal::SignalModel;
@@ -80,8 +81,8 @@ pub mod prelude {
     pub use crate::error::ScenarioError;
     pub use crate::eval::{
         calibrate_cfd_threshold, evaluate_sweep, evaluate_sweep_serial,
-        evaluate_sweep_with_workers, RocRow, RocTable, SnrSweep, SweepDetector,
-        SweepDetectorFactory,
+        evaluate_sweep_with_workers, shared_spectra_computations, RocRow, RocTable, SharedSpectra,
+        SnrSweep, SpectraWorkspace, SweepDetector, SweepDetectorFactory,
     };
     pub use crate::scenario::{Hypothesis, RadioScenario, ScenarioObservation};
     pub use crate::signal::SignalModel;

@@ -1,8 +1,11 @@
 //! Property-based tests over the scenario engine: SNR accuracy of the AWGN
 //! channel, seeded reproducibility of Monte-Carlo trials, monotonicity of
-//! the energy detector's detection probability in SNR, and bit-exact
-//! equivalence of the parallel sweep engine with its serial reference.
+//! the energy detector's detection probability in SNR, bit-exact
+//! equivalence of the parallel sweep engine with its serial reference, and
+//! decision-identity of the shared-spectra path with the raw-sample path
+//! for every detector kind.
 
+use cfd_core::app::{CfdApplication, Platform};
 use cfd_dsp::detector::{CyclostationaryDetector, EnergyDetector};
 use cfd_dsp::scf::ScfParams;
 use cfd_dsp::signal::signal_power;
@@ -121,6 +124,59 @@ proptest! {
                 preset,
                 workers
             );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The shared-spectra path is decision-identical to the raw-sample
+    /// path for **every** detector kind (energy, golden-model CFD, tiled
+    /// SoC) in **every** preset, under both hypotheses: sharing the block
+    /// spectra changes where the FFT runs, never what is decided. (Kept at
+    /// 8 cases: each builds SoC replicas, i.e. whole simulated platforms.)
+    #[test]
+    fn decide_from_spectra_is_decision_identical_for_every_preset(
+        seed in 0u64..1000,
+        trial in 0usize..20,
+    ) {
+        let params = ScfParams::new(32, 7, 8).unwrap();
+        let len = params.samples_needed();
+        let factories = vec![
+            SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.1, len).unwrap()),
+            SweepDetectorFactory::Cyclostationary(
+                CyclostationaryDetector::new(params.clone(), 0.35, 1).unwrap(),
+            ),
+            SweepDetectorFactory::tiled_soc(
+                CfdApplication::new(32, 7, 8).unwrap(),
+                &Platform::paper(),
+                0.35,
+                1,
+            ),
+        ];
+        for preset in RadioScenario::preset_names() {
+            let scenario = RadioScenario::preset(preset, len)
+                .expect("built-in preset")
+                .with_seed(seed);
+            for hypothesis in [Hypothesis::Occupied, Hypothesis::Vacant] {
+                let observation = scenario.observe(hypothesis, trial).unwrap();
+                let mut workspace = SpectraWorkspace::new();
+                let mut shared = workspace.observation(&observation.samples);
+                for factory in &factories {
+                    let mut via_samples = factory.build().unwrap();
+                    let mut via_spectra = factory.build().unwrap();
+                    prop_assert_eq!(
+                        via_samples.decide(&observation.samples).unwrap(),
+                        via_spectra.decide_from_spectra(&mut shared).unwrap(),
+                        "{} diverged on preset {} ({:?}, trial {})",
+                        factory.label(),
+                        preset,
+                        hypothesis,
+                        trial
+                    );
+                }
+            }
         }
     }
 }

@@ -1,0 +1,55 @@
+//! Pins the sweep engine's shared-spectra contract: block spectra are
+//! computed **once per trial**, not once per detector replica, on both the
+//! serial and the parallel execution path.
+//!
+//! This lives in its own integration-test binary on purpose — the
+//! [`shared_spectra_computations`] counter is process-global, so the delta
+//! measurement must not race other sweeps running in the same process.
+
+use cfd_dsp::detector::{CyclostationaryDetector, EnergyDetector};
+use cfd_dsp::scf::ScfParams;
+use cfd_scenario::prelude::*;
+
+#[test]
+fn evaluate_sweep_computes_block_spectra_once_per_trial() {
+    let params = ScfParams::new(32, 7, 16).unwrap();
+    let len = params.samples_needed();
+    let scenario = RadioScenario::preset("bpsk-awgn", len)
+        .expect("built-in preset")
+        .with_seed(11);
+    let points = 2usize;
+    let trials = 5usize;
+    let sweep = SnrSweep::new(vec![-5.0, 5.0], trials).unwrap();
+    // Two CFD detectors at the same ScfParams plus the energy baseline:
+    // before the shared-spectra path, every CFD replica re-ran windowing +
+    // FFT per observation (2 spectra computations per trial here).
+    let detectors = vec![
+        SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.1, len).unwrap()),
+        SweepDetectorFactory::Cyclostationary(
+            CyclostationaryDetector::new(params.clone(), 0.25, 1).unwrap(),
+        ),
+        SweepDetectorFactory::Cyclostationary(
+            CyclostationaryDetector::new(params, 0.45, 1).unwrap(),
+        ),
+    ];
+    // One shared H0 pass plus one H1 pass per SNR point.
+    let observations = ((points + 1) * trials) as u64;
+
+    let before = shared_spectra_computations();
+    let serial = evaluate_sweep_serial(&scenario, &sweep, &detectors).unwrap();
+    let after_serial = shared_spectra_computations();
+    assert_eq!(
+        after_serial - before,
+        observations,
+        "serial sweep must compute spectra once per observation"
+    );
+
+    let parallel = evaluate_sweep_with_workers(&scenario, &sweep, &detectors, 3).unwrap();
+    let after_parallel = shared_spectra_computations();
+    assert_eq!(
+        after_parallel - after_serial,
+        observations,
+        "parallel sweep must compute spectra once per observation"
+    );
+    assert_eq!(serial, parallel);
+}

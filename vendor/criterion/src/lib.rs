@@ -9,6 +9,10 @@
 //! print the mean time per iteration. Statistical analysis, outlier
 //! rejection and HTML reports of the real crate are intentionally absent;
 //! the printed numbers are still comparable run-to-run on the same machine.
+//!
+//! Like the real crate, `cargo bench -- --test` runs every benchmark body
+//! exactly once with no warm-up and no statistics — the smoke mode CI uses
+//! to keep bench bodies exercised, not merely compiled.
 
 #![warn(missing_docs)]
 
@@ -181,6 +185,14 @@ impl Bencher {
     }
 }
 
+/// `true` when the process was started in test mode (`cargo bench -- --test`):
+/// run every benchmark body once, skip warm-up and measurement entirely.
+/// Other harness flags cargo or the user may pass (`--bench`, filters) are
+/// ignored, mirroring how this stand-in treats the rest of the CLI.
+fn test_mode() -> bool {
+    std::env::args().any(|arg| arg == "--test")
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(
     label: &str,
     warm_up: Duration,
@@ -188,6 +200,15 @@ fn run_one<F: FnMut(&mut Bencher)>(
     min_samples: usize,
     f: &mut F,
 ) {
+    if test_mode() {
+        let mut b = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test: {label:<50} ok (1 iter, --test mode)");
+        return;
+    }
     // Warm-up: run single iterations until the warm-up budget elapses, and
     // use the observed cost to size measurement batches.
     let warm_start = Instant::now();
