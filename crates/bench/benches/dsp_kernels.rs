@@ -10,6 +10,8 @@ use cfd_dsp::scf::{dscf_reference, ScfEngine, ScfMatrix, ScfParams};
 use cfd_dsp::signal::awgn;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
+use tiled_soc::config::{ExecutionMode, SocConfig};
+use tiled_soc::soc::TiledSoc;
 
 fn bench_fft(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft");
@@ -55,6 +57,17 @@ fn bench_dscf(c: &mut Criterion) {
 /// `a ≥ 0` half (mirroring the rest by conjugation), and — in the
 /// `engine_into` row — reuses one matrix allocation across iterations the
 /// way a Monte-Carlo sweep does. Output is bit-identical to the reference.
+///
+/// SIMD-restructure record (PR 4, this container, `engine`/`engine_into`):
+/// the zip-based accumulation measured 137/132 µs; the prescribed
+/// `f64::mul_add` split regressed to 817/778 µs (no FMA in the default
+/// x86-64 target features, so every `mul_add` became a libm call); the
+/// adopted form — indexed, zip-free, re/im split into two independent
+/// chains of plain ops — measures 134–153 µs across runs (parity within
+/// this container's noise) while preserving bit-identity. The loop is
+/// gather-bound (`block[index]` loads from precomputed tables), so real
+/// SIMD gains need contiguous re-blocking of the operands, not just loop
+/// shape.
 fn bench_dscf_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("dscf_kernel");
     group
@@ -74,6 +87,68 @@ fn bench_dscf_kernel(c: &mut Criterion) {
     group.bench_function("engine_into_127x127_8blocks", |b| {
         let mut scratch = ScfMatrix::zeros(params.max_offset);
         b.iter(|| engine.compute_into(&signal, &mut scratch).unwrap());
+    });
+    group.finish();
+}
+
+/// The tiled-SoC block rate at the paper's platform scale (4 tiles,
+/// 256-point spectra, 127×127 DSCF, 8 integration steps per run): the
+/// cycle-accurate lockstep simulation vs the analytic fast path from raw
+/// samples (shared-plan FFT front-end + table-driven correlation) vs the
+/// spectra-fed entry point (`run_from_spectra` on precomputed spectra —
+/// the correlator cost in isolation, the way sweep rosters drive it).
+/// All three produce the same `SocRun` bit for bit; the quotient of the
+/// first two rows is the platform-path speedup the sweep engine inherits
+/// (the acceptance bar is ≥ 5×).
+fn bench_soc_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soc_block");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let blocks = 8usize;
+    let signal = awgn(blocks * 256, 1.0, 4242);
+
+    group.bench_function("lockstep_127x127_8blocks", |b| {
+        let mut soc = TiledSoc::new(
+            SocConfig::paper().with_mode(ExecutionMode::Lockstep),
+            63,
+            256,
+        )
+        .unwrap();
+        let mut run = soc.empty_run();
+        b.iter(|| {
+            soc.reset();
+            soc.run_into(&signal, blocks, &mut run).unwrap();
+        });
+    });
+    group.bench_function("analytic_127x127_8blocks", |b| {
+        let mut soc = TiledSoc::new(
+            SocConfig::paper().with_mode(ExecutionMode::Analytic),
+            63,
+            256,
+        )
+        .unwrap();
+        let mut run = soc.empty_run();
+        b.iter(|| {
+            soc.reset();
+            soc.run_into(&signal, blocks, &mut run).unwrap();
+        });
+    });
+    group.bench_function("analytic_from_spectra_127x127_8blocks", |b| {
+        let engine = ScfEngine::new(ScfParams::paper_256_with_blocks(blocks)).unwrap();
+        let spectra = engine.compute_spectra(&signal).unwrap();
+        let mut soc = TiledSoc::new(
+            SocConfig::paper().with_mode(ExecutionMode::Analytic),
+            63,
+            256,
+        )
+        .unwrap();
+        let mut run = soc.empty_run();
+        b.iter(|| {
+            soc.reset();
+            soc.run_from_spectra_into(&spectra, &mut run).unwrap();
+        });
     });
     group.finish();
 }
@@ -112,6 +187,7 @@ criterion_group!(
     bench_fft,
     bench_dscf,
     bench_dscf_kernel,
+    bench_soc_block,
     bench_fft_plan
 );
 criterion_main!(benches);

@@ -122,9 +122,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let table = evaluate_sweep(&scenario, &sweep, &detectors)?;
     print!("{}", table.render());
     println!("(the SoC rows must equal the golden-model rows: same DSCF, same statistic)");
+
+    header("Platform-path timing: SoC-roster sweep, analytic fast path vs lockstep simulation");
+    let soc_roster = |mode| {
+        vec![SweepDetectorFactory::tiled_soc(
+            CfdApplication::new(32, 7, 32).expect("valid application"),
+            &Platform::paper().with_mode(mode),
+            0.35,
+            1,
+        )]
+    };
+    let time_sweep =
+        |detectors: &[SweepDetectorFactory]| -> Result<f64, Box<dyn std::error::Error>> {
+            let started = std::time::Instant::now();
+            evaluate_sweep(&scenario, &sweep, detectors)?;
+            Ok(started.elapsed().as_secs_f64())
+        };
+    let analytic_seconds = time_sweep(&soc_roster(tiled_soc::config::ExecutionMode::Analytic))?;
+    let lockstep_seconds = time_sweep(&soc_roster(tiled_soc::config::ExecutionMode::Lockstep))?;
+    let speedup = lockstep_seconds / analytic_seconds.max(f64::MIN_POSITIVE);
+    println!("analytic sweep            : {:.4} s", analytic_seconds);
+    println!("lockstep sweep            : {:.4} s", lockstep_seconds);
+    println!("speedup                   : {speedup:.1}x  (decision-identical tables)");
     if let Some(path) = &bench_json {
-        std::fs::write(path, table.to_json())?;
-        println!("sweep table written as JSON to {}", path.display());
+        // Splice the platform-path timing into the RocTable document so the
+        // uploaded BENCH_sweeps.json tracks both the Pd/Pfa trajectory and
+        // the SoC sweep cost per commit.
+        let rows = table.to_json();
+        let rows = rows
+            .strip_suffix('}')
+            .expect("RocTable::to_json emits an object");
+        let json = format!(
+            "{rows},\"soc_sweep\":{{\"analytic_seconds\":{analytic_seconds},\
+             \"lockstep_seconds\":{lockstep_seconds},\"speedup\":{speedup}}}}}"
+        );
+        std::fs::write(path, json)?;
+        println!(
+            "sweep table + SoC timing written as JSON to {}",
+            path.display()
+        );
     }
 
     header("Scalability: platform configurations (the paper's linear-scaling claim)");

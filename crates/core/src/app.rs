@@ -113,11 +113,18 @@ pub struct Platform {
 
 impl Platform {
     /// The AAF platform of the paper: 4 Montium tiles at 100 MHz.
+    ///
+    /// The execution mode defaults to [`ExecutionMode::Analytic`] — the
+    /// fast path that produces the same `SocRun` (bit-identical DSCF,
+    /// equal cycle/transfer counters) without per-cycle simulation, which
+    /// is what Monte-Carlo sweeps want. Use
+    /// `.with_mode(ExecutionMode::Lockstep)` (or `Threaded`) for the
+    /// cycle-accurate golden-reference simulation.
     pub fn paper() -> Self {
         Platform {
             cores: 4,
             tile: MontiumConfig::paper(),
-            mode: ExecutionMode::Lockstep,
+            mode: ExecutionMode::Analytic,
         }
     }
 

@@ -15,8 +15,9 @@ use cfd_dsp::detector::{
 };
 use cfd_dsp::scf::ScfMatrix;
 use serde::{Deserialize, Serialize};
+use tiled_soc::config::ExecutionMode;
 use tiled_soc::power::PlatformMetrics;
-use tiled_soc::soc::TiledSoc;
+use tiled_soc::soc::{SocRun, TiledSoc};
 use tiled_soc::tile::TileCycleBreakdown;
 
 /// The result of one sensing decision taken on the platform.
@@ -106,6 +107,46 @@ impl SpectrumSensor {
         self.application.samples_needed()
     }
 
+    /// The DSCF engine of this sensor's detector — its parameters are
+    /// exactly the application's [`CfdApplication::scf_params`], so sweep
+    /// drivers use it to key shared block spectra that this sensor can
+    /// consume through [`SpectrumSensor::decide_from_spectra`].
+    pub fn engine(&self) -> &cfd_dsp::scf::ScfEngine {
+        self.detector.engine()
+    }
+
+    /// Whether this sensor's platform produces the same decisions from
+    /// software-computed block spectra as from raw samples: true for the
+    /// analytic fast path (which `TiledSoc` only constructs for the
+    /// full-precision datapath — Analytic + Q15 is refused up front). The
+    /// simulating modes compute their spectra on-tile by design, so they
+    /// read raw samples. The Q15 check is defensive should that
+    /// construction rule ever be relaxed.
+    pub fn shares_software_spectra(&self) -> bool {
+        self.soc.config().mode == ExecutionMode::Analytic && !self.soc.config().tile.quantize_q15
+    }
+
+    /// Scenario-driven fast entry point: one decision from externally
+    /// computed block spectra (eq. 2, non-overlapping rectangular-window
+    /// blocks — the `SharedSpectra` a sweep engine already computed for the
+    /// software CFD replicas), fed straight into the platform's spectra-fed
+    /// correlator. Decisions are identical to
+    /// [`SpectrumSensor::decide`] on the raw samples when
+    /// [`SpectrumSensor::shares_software_spectra`] holds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors (e.g. block spectra shorter than the FFT
+    /// length).
+    pub fn decide_from_spectra(
+        &mut self,
+        spectra: &[Vec<Cplx>],
+    ) -> Result<DetectionOutcome, CfdError> {
+        self.soc.reset();
+        let run = self.soc.run_from_spectra(spectra)?;
+        Ok(self.detector.detect_from_scf(&run.scf))
+    }
+
     /// Scenario-driven entry point: takes one decision on the simulated
     /// platform and returns only the detector outcome, skipping the
     /// report assembly of [`SpectrumSensor::sense`]. This is the hot path
@@ -182,6 +223,9 @@ impl SessionBatch {
 #[derive(Debug)]
 pub struct SensingSession {
     sensor: SpectrumSensor,
+    /// Reused [`SocRun`] (DSCF matrix + per-tile breakdowns), so a
+    /// session's steady-state decisions allocate nothing per run.
+    scratch: SocRun,
     decisions: u64,
     total_blocks: u64,
     total_critical_cycles: u64,
@@ -211,8 +255,10 @@ impl SensingSession {
     /// Wraps an existing sensor (its construction-time configuration counts
     /// as this session's one configuration).
     pub fn from_sensor(sensor: SpectrumSensor) -> Self {
+        let scratch = sensor.soc.empty_run();
         SensingSession {
             sensor,
+            scratch,
             decisions: 0,
             total_blocks: 0,
             total_critical_cycles: 0,
@@ -241,6 +287,32 @@ impl SensingSession {
         self.sensor.soc.configurations()
     }
 
+    /// The DSCF engine keying this session's shareable block spectra (see
+    /// [`SpectrumSensor::engine`]).
+    pub fn engine(&self) -> &cfd_dsp::scf::ScfEngine {
+        self.sensor.engine()
+    }
+
+    /// Whether shared software spectra reproduce this session's raw-sample
+    /// decisions (see [`SpectrumSensor::shares_software_spectra`]).
+    pub fn shares_software_spectra(&self) -> bool {
+        self.sensor.shares_software_spectra()
+    }
+
+    /// Books one processed decision into the session totals and thresholds
+    /// the gathered DSCF — shared tail of the raw-sample and spectra-fed
+    /// paths, which differ only in how `self.scratch` was filled.
+    fn account_scratch(&mut self) -> (DetectionOutcome, u64) {
+        let cycles = self.scratch.max_tile_cycles();
+        self.decisions += 1;
+        self.total_blocks += self.scratch.blocks as u64;
+        self.total_critical_cycles += cycles;
+        (
+            self.sensor.detector.detect_from_scf(&self.scratch.scf),
+            cycles,
+        )
+    }
+
     /// One decision plus its session accounting — the single place where
     /// counters are updated, shared by [`SensingSession::decide`] and
     /// [`SensingSession::decide_batch`]. Returns the outcome and the
@@ -248,12 +320,29 @@ impl SensingSession {
     fn decide_one(&mut self, samples: &[Cplx]) -> Result<(DetectionOutcome, u64), CfdError> {
         let num_blocks = self.sensor.application.num_blocks;
         self.sensor.soc.reset();
-        let run = self.sensor.soc.run(samples, num_blocks)?;
-        let cycles = run.max_tile_cycles();
-        self.decisions += 1;
-        self.total_blocks += num_blocks as u64;
-        self.total_critical_cycles += cycles;
-        Ok((self.sensor.detector.detect_from_scf(&run.scf), cycles))
+        self.sensor
+            .soc
+            .run_into(samples, num_blocks, &mut self.scratch)?;
+        Ok(self.account_scratch())
+    }
+
+    /// One decision from externally computed block spectra, streamed
+    /// through the platform's spectra-fed fast path with the same session
+    /// accounting as [`SensingSession::decide`] (see
+    /// [`SpectrumSensor::decide_from_spectra`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    pub fn decide_from_spectra(
+        &mut self,
+        spectra: &[Vec<Cplx>],
+    ) -> Result<DetectionOutcome, CfdError> {
+        self.sensor.soc.reset();
+        self.sensor
+            .soc
+            .run_from_spectra_into(spectra, &mut self.scratch)?;
+        Ok(self.account_scratch().0)
     }
 
     /// Streams one batch of observations through the platform and returns
@@ -470,6 +559,57 @@ mod tests {
         assert_eq!(single, batch.outcomes[0]);
         assert_eq!(session.decisions(), 5);
         assert_eq!(session.configurations(), 1);
+    }
+
+    #[test]
+    fn spectra_fed_decisions_match_raw_sample_decisions() {
+        // The spectra-fed fast path must reproduce the raw-sample decision
+        // (and its statistic) exactly: same DSCF, same cycle accounting.
+        let mut via_samples = SensingSession::from_sensor(sensor());
+        let mut via_spectra = SensingSession::from_sensor(sensor());
+        assert!(via_spectra.shares_software_spectra());
+        let engine = via_spectra.engine().clone();
+        let n = via_samples.samples_per_decision();
+        for trial in 0..3u64 {
+            let samples = observation(trial % 2 == 0, 3.0, n, 50 + trial);
+            let spectra = engine.compute_spectra(&samples).unwrap();
+            let a = via_samples.decide(&samples).unwrap();
+            let b = via_spectra.decide_from_spectra(&spectra).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(via_samples.decisions(), via_spectra.decisions());
+        assert_eq!(via_samples.session_metrics(), via_spectra.session_metrics());
+        assert_eq!(via_spectra.configurations(), 1);
+    }
+
+    #[test]
+    fn analytic_sensor_matches_the_lockstep_golden_reference() {
+        // Platform::paper() now defaults to the analytic fast path; the
+        // cycle-accurate simulation stays available behind with_mode and
+        // must report the identical statistic, metrics and counters.
+        let application = CfdApplication::new(32, 7, 16).unwrap();
+        let mut fast =
+            SpectrumSensor::new(application.clone(), &Platform::paper(), 0.35, 1).unwrap();
+        let mut golden = SpectrumSensor::new(
+            application,
+            &Platform::paper().with_mode(tiled_soc::config::ExecutionMode::Lockstep),
+            0.35,
+            1,
+        )
+        .unwrap();
+        assert!(fast.shares_software_spectra());
+        assert!(!golden.shares_software_spectra());
+        let samples = observation(true, 4.0, fast.samples_per_decision(), 9);
+        let fast_report = fast.sense(&samples).unwrap();
+        let golden_report = golden.sense(&samples).unwrap();
+        assert_eq!(fast_report.outcome, golden_report.outcome);
+        assert_eq!(fast_report.per_tile_cycles, golden_report.per_tile_cycles);
+        assert_eq!(
+            fast_report.inter_tile_transfers,
+            golden_report.inter_tile_transfers
+        );
+        assert_eq!(fast_report.metrics, golden_report.metrics);
+        assert_eq!(fast_report.scf.max_abs_difference(&golden_report.scf), 0.0);
     }
 
     #[test]

@@ -116,6 +116,15 @@ impl ComplexAlu {
         (a + t, a - t)
     }
 
+    /// Accounts `count` butterflies executed as one batch (e.g. a whole FFT
+    /// evaluated through a precomputed plan rather than butterfly by
+    /// butterfly). Statistics and cycles match `count` calls of
+    /// [`ComplexAlu::butterfly`].
+    pub fn record_butterflies(&mut self, count: u64) {
+        self.stats.butterflies += count;
+        self.stats.cycles += count * self.cycles_for(AluOp::Butterfly);
+    }
+
     /// Execution statistics so far.
     pub fn stats(&self) -> AluStats {
         self.stats

@@ -26,8 +26,7 @@ use crate::power::TilePower;
 use crate::regfile::RegisterFileSet;
 use crate::sequencer::{KernelRun, Phase, Sequencer};
 use cfd_dsp::complex::Cplx;
-use cfd_dsp::fft::{bit_reverse_permute, is_power_of_two};
-use std::f64::consts::PI;
+use cfd_dsp::fft::{cached_plan, is_power_of_two};
 
 /// Configuration of the CFD kernel on one tile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -204,9 +203,16 @@ impl MontiumCore {
         self.config.num_memories // M10
     }
 
-    /// Computes the block spectrum of `samples` on this tile's ALU
-    /// (radix-2 FFT executed butterfly by butterfly) and accounts the
-    /// [`Phase::Fft`] cycle budget calibrated to Heysters [3].
+    /// Computes the block spectrum of `samples` on this tile's ALU and
+    /// accounts the [`Phase::Fft`] cycle budget calibrated to Heysters [3].
+    ///
+    /// The arithmetic goes through the shared [`cfd_dsp::fft::FftPlan`]
+    /// (cached per thread) — the same twiddles and butterfly ordering the
+    /// software DSCF engine uses — so tile spectra are **bit-identical** to
+    /// the golden-model block spectra. The cycle model is unchanged: the
+    /// `(K/2)·log2 K` butterflies are accounted on the ALU and the
+    /// [`Phase::Fft`] budget stays calibrated to the paper's 1040 cycles
+    /// for `K = 256`.
     ///
     /// # Errors
     ///
@@ -221,26 +227,17 @@ impl MontiumCore {
             });
         }
         let mut data = samples.to_vec();
-        if n > 1 {
-            bit_reverse_permute(&mut data);
-            let mut len = 2;
-            while len <= n {
-                let step = -2.0 * PI / len as f64;
-                for start in (0..n).step_by(len) {
-                    for offset in 0..len / 2 {
-                        let w = Cplx::cis(step * offset as f64);
-                        let (top, bottom) = self.alu.butterfly(
-                            data[start + offset],
-                            data[start + offset + len / 2],
-                            w,
-                        );
-                        data[start + offset] = top;
-                        data[start + offset + len / 2] = bottom;
-                    }
-                }
-                len <<= 1;
-            }
-        }
+        let plan = cached_plan(n).map_err(|e| MontiumError::InvalidKernel {
+            kernel: "fft",
+            message: e.to_string(),
+        })?;
+        plan.forward_in_place(&mut data)
+            .map_err(|e| MontiumError::InvalidKernel {
+                kernel: "fft",
+                message: e.to_string(),
+            })?;
+        self.alu
+            .record_butterflies((n / 2 * n.trailing_zeros() as usize) as u64);
         if self.config.quantize_q15 {
             // The 16-bit datapath: results are scaled by 1/N to stay in
             // range and quantised, matching a block-floating FFT that
@@ -466,6 +463,30 @@ impl MontiumCore {
             results.push(row);
         }
         Ok(results)
+    }
+
+    /// [`MontiumCore::accumulated_results`] written flat into a caller-owned
+    /// buffer (`out[task · F + step]`, normalised by the accumulated
+    /// blocks), so per-run gathers reuse one allocation instead of building
+    /// a fresh `Vec` per task per readback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MontiumError::InvalidKernel`] if the tile is not configured.
+    pub fn accumulated_results_into(&mut self, out: &mut Vec<Cplx>) -> Result<(), MontiumError> {
+        let state = self.cfd()?;
+        let norm = if state.blocks_accumulated == 0 {
+            1.0
+        } else {
+            1.0 / state.blocks_accumulated as f64
+        };
+        let entries = state.active_tasks * state.num_frequencies;
+        out.clear();
+        out.reserve(entries);
+        for index in 0..entries {
+            out.push(self.memories.read_accumulator(index)? * norm);
+        }
+        Ok(())
     }
 
     /// Clears cycle counters, ALU statistics and memories, keeping the CFD

@@ -13,6 +13,7 @@
 //! streams lives in the `tiled-soc` crate and reuses the same per-step tile
 //! methods.
 
+use crate::config::MontiumConfig;
 use crate::core::MontiumCore;
 use crate::error::MontiumError;
 use crate::sequencer::Phase;
@@ -35,7 +36,13 @@ pub struct TileTaskSet {
     pub tasks_per_core: usize,
     /// Tasks that actually compute on this core.
     pub active_tasks: usize,
-    /// Index of this core's first task in the initial array.
+    /// Index of this core's first task in the initial array: the
+    /// *unclamped* continuation `q·T`. For a core left entirely idle by an
+    /// uneven folding (`q·T ≥ P`) this exceeds the task count on purpose:
+    /// the idle core still sits in the chained shift registers, and its
+    /// boundary sources must continue the systolic index sequence for the
+    /// operands it passes through to the computing cores (clamping here
+    /// silently corrupted the direct-flow stream of such foldings).
     pub first_task: usize,
 }
 
@@ -88,7 +95,7 @@ impl TileTaskSet {
             core_index,
             tasks_per_core: folding.tasks_per_core,
             active_tasks: tasks.len(),
-            first_task: tasks.start,
+            first_task: core_index * folding.tasks_per_core,
         })
     }
 
@@ -150,6 +157,38 @@ impl IntegrationStepCycles {
             + self.fft
             + self.reshuffling
             + self.initialisation
+    }
+}
+
+/// The closed-form cycle model of one integration step on one tile.
+///
+/// Every phase budget of the Fig. 11 kernel is a deterministic function of
+/// the task-set geometry `(T, F, K)` and the tile configuration — the
+/// sequencer only ever adds these same constants — so the Table-1 breakdown
+/// can be written down without stepping the simulator:
+///
+/// * FFT: [`MontiumConfig::fft_cycles`]`(K)`,
+/// * reshuffling: one cycle per spectral value, `K`,
+/// * initialisation: one cycle per frequency point, `F`,
+/// * data read: [`MontiumConfig::data_read_cycles`] per frequency step,
+/// * multiply–accumulate: `active_tasks ·`
+///   [`MontiumConfig::mac_cycles`] per frequency step.
+///
+/// This is the per-block model behind the tiled SoC's analytic execution
+/// mode; it is pinned cycle-for-cycle against [`run_integration_step`] (and,
+/// over random foldings, against the lockstep platform simulation in
+/// `tests/soc_fast_path.rs`).
+pub fn analytic_step_cycles(
+    config: &MontiumConfig,
+    task_set: &TileTaskSet,
+) -> IntegrationStepCycles {
+    let f = task_set.num_frequencies() as u64;
+    IntegrationStepCycles {
+        multiply_accumulate: f * task_set.active_tasks as u64 * config.mac_cycles,
+        read_data: f * config.data_read_cycles,
+        fft: config.fft_cycles(task_set.fft_len),
+        reshuffling: task_set.fft_len as u64,
+        initialisation: f,
     }
 }
 
@@ -321,6 +360,36 @@ mod tests {
         assert_eq!(run.cycles.initialisation, 127);
         assert_eq!(run.cycles.total(), 13996);
         assert!((tile.config().cycles_to_us(run.cycles.total()) - 139.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analytic_step_cycles_match_the_simulated_breakdown() {
+        // The closed-form model must equal the sequencer's accounting
+        // cycle for cycle, phase by phase — including the uneven last core
+        // of a folding (fewer active tasks) and non-paper geometries.
+        let config = MontiumConfig::paper();
+        for (p, cores, max_offset, fft_len) in [
+            (127usize, 4usize, 63usize, 256usize),
+            (15, 4, 7, 32),
+            (31, 3, 15, 64),
+        ] {
+            let folding = Folding::new(p, cores).unwrap();
+            for core_index in 0..cores {
+                let task_set = TileTaskSet::new(&folding, core_index, max_offset, fft_len).unwrap();
+                let mut tile = MontiumCore::new(config.clone());
+                configure_tile(&mut tile, &task_set).unwrap();
+                let samples = awgn(fft_len, 1.0, 3 + core_index as u64);
+                let run = run_integration_step(&mut tile, &task_set, &samples).unwrap();
+                let model = analytic_step_cycles(&config, &task_set);
+                assert_eq!(
+                    model, run.cycles,
+                    "core {core_index} of {p} tasks on {cores}"
+                );
+            }
+        }
+        // The paper's critical tile: Table 1 exactly.
+        let model = analytic_step_cycles(&config, &TileTaskSet::paper(0).unwrap());
+        assert_eq!(model.total(), 13996);
     }
 
     #[test]

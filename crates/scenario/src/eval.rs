@@ -35,10 +35,15 @@
 //! spectra are computed **once per trial** per distinct `ScfParams` and
 //! every golden-model CFD replica in the roster reuses them (decisions are
 //! identical to the raw-sample path — the engine's spectra are
-//! bit-identical to what `decide` computes internally). The energy
-//! detector's statistic is time-domain power (it never ran an FFT), and a
-//! SoC replica's simulated front-end computes its own on-tile spectra by
-//! design — both simply read the raw samples. The global
+//! bit-identical to what `decide` computes internally). Tiled-SoC replicas
+//! join the sharing too: an analytic full-precision platform feeds the
+//! shared spectra straight into its spectra-fed correlator
+//! (`TiledSoc::run_from_spectra`), so a roster mixing software CFD and SoC
+//! replicas at the same parameters performs **one FFT per trial total**.
+//! The energy detector's statistic is time-domain power (it never ran an
+//! FFT), and a simulating (`Lockstep`/`Threaded`, the cycle-accurate
+//! golden reference) or Q15 SoC replica computes its own on-tile spectra
+//! by design — those read the raw samples. The global
 //! [`shared_spectra_computations`] counter lets tests pin the
 //! once-per-trial contract.
 
@@ -270,8 +275,12 @@ impl SweepDetector {
 
     /// Runs one decision against an observation wrapped in a
     /// [`SharedSpectra`], reusing (or computing exactly once) the block
-    /// spectra shared across every CFD replica of the roster. Decisions
-    /// are identical to [`SweepDetector::decide`] on the raw samples.
+    /// spectra shared across every CFD replica of the roster — including
+    /// the tiled-SoC replicas, whose analytic platforms feed the shared
+    /// spectra straight into their spectra-fed correlator
+    /// (`TiledSoc::run_from_spectra`): one FFT per trial for the whole
+    /// roster. Decisions are identical to [`SweepDetector::decide`] on the
+    /// raw samples.
     ///
     /// # Errors
     ///
@@ -285,9 +294,15 @@ impl SweepDetector {
                 let scf = shared.scf_for(replica.detector.engine())?;
                 Ok(replica.detector.detect_from_scf(scf).decision.is_signal())
             }
-            // The energy statistic is time-domain power; the SoC's
-            // simulated front-end computes its own on-tile spectra. Both
-            // decide straight from the raw samples.
+            // An analytic full-precision platform decides from the shared
+            // software spectra (bit-identical to its raw-sample path).
+            SweepDetector::TiledSoc(session) if session.shares_software_spectra() => {
+                let spectra = shared.spectra_for(session.engine())?;
+                Ok(session.decide_from_spectra(spectra)?.decision.is_signal())
+            }
+            // The energy statistic is time-domain power; a simulating (or
+            // Q15) SoC replica computes its own on-tile spectra by design.
+            // Both decide straight from the raw samples.
             _ => self.decide(shared.samples()),
         }
     }

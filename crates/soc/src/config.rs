@@ -8,12 +8,22 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum ExecutionMode {
     /// All tiles advance one frequency step at a time in a single thread
-    /// (deterministic, used by the benchmarks).
+    /// (deterministic; the cycle-accurate golden reference).
     #[default]
     Lockstep,
     /// Each tile runs on its own thread; inter-tile streams are crossbeam
     /// channels. Produces identical results to lockstep mode.
     Threaded,
+    /// The fast path: no per-cycle simulation. Each tile's folded
+    /// accumulation runs through precomputed index tables and the cycle,
+    /// transfer and source counters come from the closed-form model derived
+    /// from the task sets at configure time. For the full-precision
+    /// datapath it produces the same `SocRun` — bit-identical DSCF, equal
+    /// counters — as the two simulating modes (pinned by
+    /// `tests/soc_fast_path.rs`); the default for Monte-Carlo sweeps. A
+    /// Q15 platform is refused at construction: the 16-bit accumulator
+    /// quantisation exists only in the cycle-accurate simulation.
+    Analytic,
 }
 
 /// Configuration of the whole platform.

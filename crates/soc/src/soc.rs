@@ -7,12 +7,24 @@
 //! between tiles once per frequency step (a rate `T` times lower than the
 //! multiply–accumulate rate, as the paper argues).
 //!
-//! Two execution modes produce identical results:
+//! Three execution modes produce identical results:
 //!
 //! * **lockstep** — all tiles advance one frequency step at a time in a
-//!   single thread (deterministic, cheap);
+//!   single thread (deterministic; the cycle-accurate golden reference);
 //! * **threaded** — one thread per tile, inter-tile streams carried by
-//!   crossbeam channels.
+//!   crossbeam channels;
+//! * **analytic** — the fast path: no sequencer, ALU or register-file
+//!   machinery is stepped at all. Each tile's folded accumulation runs over
+//!   `centred_bin` index tables precomputed from its [`TileTaskSet`] at
+//!   configure time, and the cycle/transfer/source counters come from the
+//!   closed-form model ([`montium_sim::kernels::analytic_step_cycles`] plus
+//!   the deterministic per-block stream volumes) — every counter the
+//!   simulation would have produced, without the per-cycle walk. The DSCF
+//!   is bit-identical and the counters equal (pinned by
+//!   `tests/soc_fast_path.rs`). [`TiledSoc::run_from_spectra`] additionally
+//!   accepts externally computed block spectra, so sweep engines that
+//!   already share spectra across detector replicas feed them straight into
+//!   the correlator — one FFT per trial for the whole roster.
 
 use crate::config::{ExecutionMode, SocConfig};
 use crate::error::SocError;
@@ -20,9 +32,12 @@ use crate::link::{ChannelLink, QueueLink, StreamWord};
 use crate::power::PlatformMetrics;
 use crate::tile::{Tile, TileCycleBreakdown};
 use cfd_dsp::complex::Cplx;
-use cfd_dsp::scf::ScfMatrix;
+use cfd_dsp::error::DspError;
+use cfd_dsp::fft::cached_plan;
+use cfd_dsp::scf::{centred_bin, ScfMatrix};
 use cfd_mapping::folding::Folding;
-use montium_sim::kernels::TileTaskSet;
+use montium_sim::kernels::{analytic_step_cycles, IntegrationStepCycles, TileTaskSet};
+use montium_sim::MontiumConfig;
 use serde::{Deserialize, Serialize};
 
 /// The result of running one or more integration steps on the platform.
@@ -60,6 +75,74 @@ impl SocRun {
     }
 }
 
+/// The precomputed fast path of one tile, derived from its [`TileTaskSet`]
+/// when the platform is configured.
+///
+/// The folded multiply–accumulate of Fig. 11 touches, for local task `j`
+/// at frequency step `s`, the spectral bins `f + a` (direct flow) and
+/// `f − a` (conjugate flow) with `f = s − M`, `a = first_task + j − M` —
+/// pure geometry. Both `centred_bin` lookups are tabulated once, so an
+/// integration step is a straight row-major multiply–accumulate over a
+/// flat slab (the PR-3 `ScfEngine` technique applied to the tile's task
+/// slice), and the product `X_{f+a} · conj(X_{f−a})` is the exact
+/// expression the tile ALU evaluates — which is what makes the fast path
+/// bit-identical to the simulation.
+#[derive(Debug)]
+struct AnalyticTile {
+    /// First task of this tile in the initial array (the DSCF column base).
+    first_task: usize,
+    /// Spectral index of the direct operand: `plus[j·F + s] = bin(f + a)`.
+    plus: Vec<u32>,
+    /// Spectral index of the conjugated operand: `minus[j·F + s] = bin(f − a)`.
+    minus: Vec<u32>,
+    /// Unnormalised accumulators `acc[j·F + s]`, mirroring M01–M08.
+    acc: Vec<Cplx>,
+    /// The closed-form per-block cycle breakdown of this tile.
+    step: IntegrationStepCycles,
+}
+
+impl AnalyticTile {
+    fn new(config: &MontiumConfig, task_set: &TileTaskSet) -> Self {
+        let f_count = task_set.num_frequencies();
+        let t = task_set.active_tasks;
+        let k = task_set.fft_len;
+        let mut plus = Vec::with_capacity(t * f_count);
+        let mut minus = Vec::with_capacity(t * f_count);
+        for j in 0..t {
+            for s in 0..f_count {
+                plus.push(centred_bin(task_set.direct_index(j, s), k) as u32);
+                minus.push(centred_bin(task_set.conjugate_index(j, s), k) as u32);
+            }
+        }
+        AnalyticTile {
+            first_task: task_set.first_task,
+            plus,
+            minus,
+            acc: vec![Cplx::ZERO; t * f_count],
+            step: analytic_step_cycles(config, task_set),
+        }
+    }
+
+    /// One integration step of this tile's task slice.
+    fn accumulate_block(&mut self, spectrum: &[Cplx]) {
+        for ((acc, &ip), &im) in self.acc.iter_mut().zip(&self.plus).zip(&self.minus) {
+            *acc += spectrum[ip as usize] * spectrum[im as usize].conj();
+        }
+    }
+
+    /// The Table-1-shaped breakdown after `blocks` integration steps.
+    fn cycle_breakdown(&self, tile: usize, blocks: u64) -> TileCycleBreakdown {
+        TileCycleBreakdown {
+            tile,
+            multiply_accumulate: blocks * self.step.multiply_accumulate,
+            read_data: blocks * self.step.read_data,
+            fft: blocks * self.step.fft,
+            reshuffling: blocks * self.step.reshuffling,
+            initialisation: blocks * self.step.initialisation,
+        }
+    }
+}
+
 /// The tiled System-on-Chip.
 #[derive(Debug)]
 pub struct TiledSoc {
@@ -68,6 +151,16 @@ pub struct TiledSoc {
     fft_len: usize,
     folding: Folding,
     tiles: Vec<Tile>,
+    /// The fast path, one entry per tile (built whatever the mode — it is
+    /// also the backing of [`TiledSoc::run_from_spectra`]).
+    analytic: Vec<AnalyticTile>,
+    /// Blocks accumulated through the cycle-accurate tiles since the last
+    /// reset.
+    blocks_simulated: usize,
+    /// Blocks accumulated through the fast path since the last reset.
+    blocks_analytic: usize,
+    /// Reusable FFT buffer of the analytic `run` front-end.
+    fft_scratch: Vec<Cplx>,
     inter_tile_transfers: u64,
     source_inputs: u64,
     configurations: u64,
@@ -87,12 +180,25 @@ impl TiledSoc {
                 message: "the platform needs at least one tile".into(),
             });
         }
+        if config.mode == ExecutionMode::Analytic && config.tile.quantize_q15 {
+            // The 16-bit accumulator quantisation happens on every memory
+            // write of the cycle-accurate datapath; the analytic path
+            // accumulates in full precision and would silently return
+            // different numbers than the hardware model. Refuse up front.
+            return Err(SocError::InvalidConfiguration {
+                message: "the analytic execution mode models the full-precision datapath; \
+                          use Lockstep or Threaded for a Q15 platform"
+                    .into(),
+            });
+        }
         let p = 2 * max_offset + 1;
         let folding = Folding::new(p, config.num_tiles)?;
         let mut tiles = Vec::with_capacity(config.num_tiles);
+        let mut analytic = Vec::with_capacity(config.num_tiles);
         for q in 0..config.num_tiles {
             let task_set = TileTaskSet::new(&folding, q, max_offset, fft_len)
                 .map_err(|e| crate::error::tile_error(q, e))?;
+            analytic.push(AnalyticTile::new(&config.tile, &task_set));
             tiles.push(Tile::new(q, config.tile.clone(), task_set)?);
         }
         Ok(TiledSoc {
@@ -101,6 +207,10 @@ impl TiledSoc {
             fft_len,
             folding,
             tiles,
+            analytic,
+            blocks_simulated: 0,
+            blocks_analytic: 0,
+            fft_scratch: Vec::with_capacity(fft_len),
             inter_tile_transfers: 0,
             source_inputs: 0,
             configurations: 1,
@@ -155,34 +265,122 @@ impl TiledSoc {
     /// non-overlapping blocks of `fft_len` samples) and returns the
     /// accumulated DSCF plus the platform statistics.
     ///
+    /// In [`ExecutionMode::Analytic`] the block spectra come from the
+    /// shared per-thread [`cached_plan`] FFT and the correlation runs
+    /// through the precomputed fast path; the result is the same `SocRun`
+    /// the simulating modes produce.
+    ///
     /// # Errors
     ///
     /// * [`SocError::Dsp`] if the signal is too short,
+    /// * [`SocError::ExecutionFailure`] when switching execution paths
+    ///   without a [`TiledSoc::reset`],
     /// * tile and execution errors otherwise.
     pub fn run(&mut self, signal: &[Cplx], num_blocks: usize) -> Result<SocRun, SocError> {
+        let mut out = self.empty_run();
+        self.run_into(signal, num_blocks, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`TiledSoc::run`] writing into a caller-owned [`SocRun`], so
+    /// decision loops (a sensing session taking thousands of decisions)
+    /// reuse the DSCF matrix and the per-tile breakdown vector instead of
+    /// reallocating them per run.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TiledSoc::run`].
+    pub fn run_into(
+        &mut self,
+        signal: &[Cplx],
+        num_blocks: usize,
+        out: &mut SocRun,
+    ) -> Result<(), SocError> {
         let needed = num_blocks * self.fft_len;
         if signal.len() < needed {
-            return Err(SocError::Dsp(
-                cfd_dsp::error::DspError::InsufficientSamples {
-                    needed,
-                    available: signal.len(),
-                },
-            ));
+            return Err(SocError::Dsp(DspError::InsufficientSamples {
+                needed,
+                available: signal.len(),
+            }));
         }
+        self.check_path(self.config.mode == ExecutionMode::Analytic)?;
         for block in 0..num_blocks {
             let samples = &signal[block * self.fft_len..(block + 1) * self.fft_len];
             match self.config.mode {
                 ExecutionMode::Lockstep => self.run_block_lockstep(samples)?,
                 ExecutionMode::Threaded => self.run_block_threaded(samples)?,
+                ExecutionMode::Analytic => self.run_block_analytic(samples)?,
             }
         }
-        Ok(SocRun {
-            scf: self.gather_scf()?,
-            blocks: num_blocks,
-            per_tile_cycles: self.tiles.iter().map(|t| t.cycle_breakdown()).collect(),
-            inter_tile_transfers: self.inter_tile_transfers,
-            source_inputs: self.source_inputs,
-        })
+        self.fill_run(num_blocks, out)
+    }
+
+    /// The spectra-fed fast path: accumulates one integration step per
+    /// externally computed block spectrum (eq.-2 spectra of consecutive
+    /// non-overlapping blocks, e.g. the `SharedSpectra` a sweep engine
+    /// already computed for the software CFD replicas) and returns the same
+    /// `SocRun` — analytic cycle breakdowns, transfer and source counters —
+    /// the simulated run would have produced for the equivalent signal.
+    ///
+    /// This is the entry point that isolates the correlator cost in
+    /// platform studies: no FFT runs here at all.
+    ///
+    /// # Errors
+    ///
+    /// * [`SocError::Dsp`] if any block spectrum's length differs from the
+    ///   FFT length (a longer buffer would be a different FFT size's
+    ///   spectrum, not a harmless tail),
+    /// * [`SocError::ExecutionFailure`] when switching execution paths
+    ///   without a [`TiledSoc::reset`].
+    pub fn run_from_spectra(&mut self, spectra: &[Vec<Cplx>]) -> Result<SocRun, SocError> {
+        let mut out = self.empty_run();
+        self.run_from_spectra_into(spectra, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`TiledSoc::run_from_spectra`] writing into a caller-owned
+    /// [`SocRun`] (same reuse contract as [`TiledSoc::run_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TiledSoc::run_from_spectra`].
+    pub fn run_from_spectra_into(
+        &mut self,
+        spectra: &[Vec<Cplx>],
+        out: &mut SocRun,
+    ) -> Result<(), SocError> {
+        self.check_path(true)?;
+        for (n, block) in spectra.iter().enumerate() {
+            // Exact length required: a longer buffer would be the spectrum
+            // of a *different* FFT size, and truncating it would correlate
+            // the wrong bins without any error.
+            if block.len() != self.fft_len {
+                return Err(SocError::Dsp(DspError::InvalidParameter {
+                    name: "spectra",
+                    message: format!(
+                        "block {n} has {} bins, expected exactly fft_len = {}",
+                        block.len(),
+                        self.fft_len
+                    ),
+                }));
+            }
+        }
+        for block in spectra {
+            self.accumulate_spectrum_block(block);
+        }
+        self.fill_run(spectra.len(), out)
+    }
+
+    /// An empty [`SocRun`] sized for this platform, for use with the
+    /// `*_into` entry points.
+    pub fn empty_run(&self) -> SocRun {
+        SocRun {
+            scf: ScfMatrix::zeros(self.max_offset),
+            blocks: 0,
+            per_tile_cycles: Vec::with_capacity(self.tiles.len()),
+            inter_tile_transfers: 0,
+            source_inputs: 0,
+        }
     }
 
     /// Platform metrics (area, power, bandwidth) given the critical-path
@@ -191,13 +389,92 @@ impl TiledSoc {
         PlatformMetrics::new(&self.config, run.cycles_per_block(), self.fft_len)
     }
 
-    /// Clears all tile accumulators and counters.
+    /// Clears all tile accumulators and counters (both execution paths).
     pub fn reset(&mut self) {
         for tile in &mut self.tiles {
             tile.reset();
         }
+        for fast in &mut self.analytic {
+            fast.acc.fill(Cplx::ZERO);
+        }
+        self.blocks_simulated = 0;
+        self.blocks_analytic = 0;
         self.inter_tile_transfers = 0;
         self.source_inputs = 0;
+    }
+
+    /// The two paths keep separate accumulators, so interleaving them
+    /// between resets would normalise each over only a fraction of the
+    /// blocks. Refuse instead of silently mis-averaging.
+    fn check_path(&self, analytic: bool) -> Result<(), SocError> {
+        let mixed = if analytic {
+            self.blocks_simulated > 0
+        } else {
+            self.blocks_analytic > 0
+        };
+        if mixed {
+            return Err(SocError::ExecutionFailure {
+                message: "cannot mix the analytic and the simulated execution path in one \
+                          accumulation; call reset() before switching"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// One analytic integration step from raw samples: the shared-plan FFT
+    /// front-end followed by the fast correlation. (A Q15 platform cannot
+    /// reach this path — construction refuses the combination.)
+    fn run_block_analytic(&mut self, samples: &[Cplx]) -> Result<(), SocError> {
+        let plan = cached_plan(self.fft_len).map_err(SocError::Dsp)?;
+        self.fft_scratch.clear();
+        self.fft_scratch.extend_from_slice(samples);
+        plan.forward_in_place(&mut self.fft_scratch)
+            .map_err(SocError::Dsp)?;
+        let spectrum = std::mem::take(&mut self.fft_scratch);
+        self.accumulate_spectrum_block(&spectrum);
+        self.fft_scratch = spectrum;
+        Ok(())
+    }
+
+    /// Accumulates one block spectrum into every tile's fast path and
+    /// advances the deterministic platform counters: per block, each of the
+    /// `Q − 1` internal boundaries carries one word per flow per frequency
+    /// step except the last (`2·(Q−1)·(F−1)` transfers), and the FFT source
+    /// feeds both array ends once per shift (`2·(F−1)` inputs) — the same
+    /// volumes the links and source taps of the simulation count.
+    fn accumulate_spectrum_block(&mut self, spectrum: &[Cplx]) {
+        for fast in &mut self.analytic {
+            fast.accumulate_block(spectrum);
+        }
+        let f_count = (2 * self.max_offset + 1) as u64;
+        let boundaries = (self.tiles.len() as u64).saturating_sub(1);
+        self.inter_tile_transfers += 2 * boundaries * (f_count - 1);
+        self.source_inputs += 2 * (f_count - 1);
+        self.blocks_analytic += 1;
+    }
+
+    /// Assembles the [`SocRun`] of the path that accumulated since the last
+    /// reset into `out`, reusing its allocations.
+    fn fill_run(&mut self, blocks: usize, out: &mut SocRun) -> Result<(), SocError> {
+        self.gather_scf_into(&mut out.scf)?;
+        out.blocks = blocks;
+        out.per_tile_cycles.clear();
+        if self.blocks_analytic > 0 {
+            let n = self.blocks_analytic as u64;
+            out.per_tile_cycles.extend(
+                self.analytic
+                    .iter()
+                    .enumerate()
+                    .map(|(q, fast)| fast.cycle_breakdown(q, n)),
+            );
+        } else {
+            out.per_tile_cycles
+                .extend(self.tiles.iter().map(|t| t.cycle_breakdown()));
+        }
+        out.inter_tile_transfers = self.inter_tile_transfers;
+        out.source_inputs = self.source_inputs;
+        Ok(())
     }
 
     fn run_block_lockstep(&mut self, samples: &[Cplx]) -> Result<(), SocError> {
@@ -267,6 +544,7 @@ impl TiledSoc {
         for tile in &mut self.tiles {
             tile.finish_block()?;
         }
+        self.blocks_simulated += 1;
         Ok(())
     }
 
@@ -365,26 +643,49 @@ impl TiledSoc {
         }
         // Source inputs: one per boundary end per shift.
         self.source_inputs += 2 * (f_count as u64 - 1);
+        self.blocks_simulated += 1;
         Ok(())
     }
 
-    fn gather_scf(&mut self) -> Result<ScfMatrix, SocError> {
-        let m = self.max_offset as i32;
-        let mut matrix = ScfMatrix::zeros(self.max_offset);
-        let tasks_per_core = self.folding.tasks_per_core;
-        for tile in &mut self.tiles {
-            let first_task = tile.task_set().first_task;
-            let results = tile.results()?;
-            for (j, row) in results.iter().enumerate() {
-                let a = (first_task + j) as i32 - m;
-                for (step, &value) in row.iter().enumerate() {
-                    let f = step as i32 - m;
-                    matrix.set(f, a, value);
+    /// Gathers the accumulated DSCF into `matrix` (resized only if its grid
+    /// differs), reading each tile's slice through its reusable flat gather
+    /// buffer — no per-task or per-row allocation on either path.
+    ///
+    /// Tile `q` holds the columns (offsets `a`) of its task slice for every
+    /// row (frequency `f`); a task's row of `F` values lands strided at
+    /// `values[s·P + first_task + j]`.
+    fn gather_scf_into(&mut self, matrix: &mut ScfMatrix) -> Result<(), SocError> {
+        let p = 2 * self.max_offset + 1;
+        if matrix.max_offset() != self.max_offset {
+            *matrix = ScfMatrix::zeros(self.max_offset);
+        } else {
+            matrix.as_mut_slice().fill(Cplx::ZERO);
+        }
+        let values = matrix.as_mut_slice();
+        if self.blocks_analytic > 0 {
+            let norm = 1.0 / self.blocks_analytic as f64;
+            for fast in &self.analytic {
+                for (j, row) in fast.acc.chunks_exact(p).enumerate() {
+                    let col = fast.first_task + j;
+                    for (s, &value) in row.iter().enumerate() {
+                        values[s * p + col] = value * norm;
+                    }
                 }
             }
-            debug_assert!(results.len() <= tasks_per_core);
+        } else {
+            for tile in &mut self.tiles {
+                let first_task = tile.task_set().first_task;
+                // The cores normalise at readback, so the values land as-is.
+                let flat = tile.results_flat()?;
+                for (j, row) in flat.chunks_exact(p).enumerate() {
+                    let col = first_task + j;
+                    for (s, &value) in row.iter().enumerate() {
+                        values[s * p + col] = value;
+                    }
+                }
+            }
         }
-        Ok(matrix)
+        Ok(())
     }
 }
 
@@ -496,6 +797,113 @@ mod tests {
         assert!((metrics.area_mm2 - 8.0).abs() < 1e-12);
         assert!((metrics.power_mw - 200.0).abs() < 1e-9);
         assert!((metrics.analysed_bandwidth_khz - 915.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn analytic_run_is_bit_identical_to_lockstep() {
+        let (signal, _) = test_signal(3);
+        let mut lockstep = small_soc(ExecutionMode::Lockstep, 4);
+        let mut analytic = small_soc(ExecutionMode::Analytic, 4);
+        let run_a = lockstep.run(&signal, 3).unwrap();
+        let run_b = analytic.run(&signal, 3).unwrap();
+        assert_eq!(run_a.scf.max_abs_difference(&run_b.scf), 0.0);
+        assert_eq!(run_a.per_tile_cycles, run_b.per_tile_cycles);
+        assert_eq!(run_a.inter_tile_transfers, run_b.inter_tile_transfers);
+        assert_eq!(run_a.source_inputs, run_b.source_inputs);
+        assert_eq!(run_a.blocks, run_b.blocks);
+    }
+
+    #[test]
+    fn run_from_spectra_matches_the_analytic_run() {
+        use cfd_dsp::scf::ScfEngine;
+        let (signal, params) = test_signal(3);
+        let engine = ScfEngine::new(params).unwrap();
+        let spectra = engine.compute_spectra(&signal).unwrap();
+        let mut from_samples = small_soc(ExecutionMode::Analytic, 4);
+        let mut from_spectra = small_soc(ExecutionMode::Lockstep, 4);
+        let run_a = from_samples.run(&signal, 3).unwrap();
+        // `run_from_spectra` works whatever the configured mode — the mode
+        // only selects what `run` does with raw samples.
+        let run_b = from_spectra.run_from_spectra(&spectra).unwrap();
+        assert_eq!(run_a.scf.max_abs_difference(&run_b.scf), 0.0);
+        assert_eq!(run_a.per_tile_cycles, run_b.per_tile_cycles);
+        assert_eq!(run_a.inter_tile_transfers, run_b.inter_tile_transfers);
+        assert_eq!(run_a.source_inputs, run_b.source_inputs);
+        // Wrong-length blocks are rejected, not panicked on or truncated:
+        // a longer buffer would be a different FFT size's spectrum.
+        from_spectra.reset();
+        for wrong in [8usize, 64] {
+            let blocks = vec![vec![Cplx::ZERO; wrong]];
+            assert!(
+                matches!(
+                    from_spectra.run_from_spectra(&blocks),
+                    Err(SocError::Dsp(_))
+                ),
+                "block length {wrong} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn analytic_mode_refuses_a_q15_platform() {
+        // The 16-bit accumulator quantisation exists only in the
+        // cycle-accurate datapath; Analytic + Q15 would silently diverge.
+        let q15 = montium_sim::MontiumConfig::paper().with_q15();
+        let analytic = SocConfig::paper()
+            .with_tile_config(q15.clone())
+            .with_mode(ExecutionMode::Analytic);
+        assert!(matches!(
+            TiledSoc::new(analytic, 7, 32),
+            Err(SocError::InvalidConfiguration { .. })
+        ));
+        // The simulating modes keep accepting Q15.
+        let lockstep = SocConfig::paper().with_tile_config(q15);
+        assert!(TiledSoc::new(lockstep, 7, 32).is_ok());
+    }
+
+    #[test]
+    fn analytic_paper_platform_reproduces_table1() {
+        let config = SocConfig::paper().with_mode(ExecutionMode::Analytic);
+        let mut soc = TiledSoc::new(config, 63, 256).unwrap();
+        let signal = awgn(256, 1.0, 4);
+        let run = soc.run(&signal, 1).unwrap();
+        assert_eq!(run.max_tile_cycles(), 13_996);
+        let metrics = soc.metrics(&run);
+        assert!((metrics.time_per_block_us - 139.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switching_paths_without_reset_is_refused() {
+        let (signal, params) = test_signal(2);
+        let mut soc = small_soc(ExecutionMode::Lockstep, 2);
+        soc.run(&signal, 1).unwrap();
+        let engine = cfd_dsp::scf::ScfEngine::new(params).unwrap();
+        let spectra = engine.compute_spectra(&signal).unwrap();
+        assert!(matches!(
+            soc.run_from_spectra(&spectra),
+            Err(SocError::ExecutionFailure { .. })
+        ));
+        // After a reset the fast path is available again — and then the
+        // simulated path is the refused one.
+        soc.reset();
+        soc.run_from_spectra(&spectra).unwrap();
+        assert!(matches!(
+            soc.run(&signal, 1),
+            Err(SocError::ExecutionFailure { .. })
+        ));
+    }
+
+    #[test]
+    fn run_into_reuses_the_caller_buffers() {
+        let (signal, _) = test_signal(2);
+        let mut soc = small_soc(ExecutionMode::Analytic, 3);
+        let mut scratch = soc.empty_run();
+        soc.run_into(&signal, 2, &mut scratch).unwrap();
+        let first = scratch.clone();
+        soc.reset();
+        soc.run_into(&signal, 2, &mut scratch).unwrap();
+        assert_eq!(first, scratch);
+        assert_eq!(scratch.per_tile_cycles.len(), 3);
     }
 
     #[test]

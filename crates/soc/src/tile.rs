@@ -47,6 +47,9 @@ pub struct Tile {
     spectrum: Vec<Cplx>,
     /// Current block conjugated spectrum (conjugate-flow source values).
     conjugated: Vec<Cplx>,
+    /// Reusable readback buffer for [`Tile::results_flat`], so gathering
+    /// the DSCF after every run allocates nothing in steady state.
+    gather: Vec<Cplx>,
 }
 
 impl Tile {
@@ -68,6 +71,7 @@ impl Tile {
             task_set,
             spectrum: Vec::new(),
             conjugated: Vec::new(),
+            gather: Vec::new(),
         })
     }
 
@@ -196,6 +200,22 @@ impl Tile {
         self.core
             .accumulated_results()
             .map_err(|e| tile_error(self.index, e))
+    }
+
+    /// The accumulated, normalised DSCF slice read flat into the tile's own
+    /// reusable gather buffer: `result[local_task · F + frequency_step]`.
+    /// This is the allocation-free readback the platform's DSCF gather uses
+    /// — the buffer persists across runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tile errors.
+    pub fn results_flat(&mut self) -> Result<&[Cplx], SocError> {
+        let index = self.index;
+        let Tile { core, gather, .. } = self;
+        core.accumulated_results_into(gather)
+            .map_err(|e| tile_error(index, e))?;
+        Ok(gather)
     }
 
     /// The Table-1-shaped cycle breakdown accumulated by this tile.

@@ -6,6 +6,7 @@
 //! [`shared_spectra_computations`] counter is process-global, so the delta
 //! measurement must not race other sweeps running in the same process.
 
+use cfd_core::app::{CfdApplication, Platform};
 use cfd_dsp::detector::{CyclostationaryDetector, EnergyDetector};
 use cfd_dsp::scf::ScfParams;
 use cfd_scenario::prelude::*;
@@ -20,9 +21,13 @@ fn evaluate_sweep_computes_block_spectra_once_per_trial() {
     let points = 2usize;
     let trials = 5usize;
     let sweep = SnrSweep::new(vec![-5.0, 5.0], trials).unwrap();
-    // Two CFD detectors at the same ScfParams plus the energy baseline:
-    // before the shared-spectra path, every CFD replica re-ran windowing +
-    // FFT per observation (2 spectra computations per trial here).
+    // Two CFD detectors at the same ScfParams, a tiled-SoC sensor at the
+    // equivalent application (its analytic platform consumes the shared
+    // spectra through the spectra-fed correlator), plus the energy
+    // baseline: one FFT per trial for the whole roster — before the
+    // shared-spectra path every CFD replica re-ran windowing + FFT per
+    // observation, and before the SoC fast path every SoC replica
+    // additionally simulated an on-tile FFT per tile.
     let detectors = vec![
         SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.1, len).unwrap()),
         SweepDetectorFactory::Cyclostationary(
@@ -30,6 +35,12 @@ fn evaluate_sweep_computes_block_spectra_once_per_trial() {
         ),
         SweepDetectorFactory::Cyclostationary(
             CyclostationaryDetector::new(params, 0.45, 1).unwrap(),
+        ),
+        SweepDetectorFactory::tiled_soc(
+            CfdApplication::new(32, 7, 16).unwrap(),
+            &Platform::paper(),
+            0.35,
+            1,
         ),
     ];
     // One shared H0 pass plus one H1 pass per SNR point.
