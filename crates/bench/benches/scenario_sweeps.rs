@@ -1,10 +1,10 @@
 //! Criterion bench of the scenario engine's hot path: licensed-user signal
-//! generation, channel application, and detector evaluation over a small
+//! generation, channel application, and backend evaluation over a small
 //! SNR sweep — plus the serial-versus-parallel comparison of the batched
-//! sweep engine (`evaluate_sweep_serial` vs `evaluate_sweep_with_workers`),
-//! which is the headline measurement for the work-queue refactor.
+//! sweep engine (`SweepBuilder::workers(1)` vs multi-worker runs), which
+//! is the headline measurement for the work-queue refactor.
 
-use cfd_dsp::detector::{CyclostationaryDetector, EnergyDetector};
+use cfd_dsp::detector::{CyclostationaryDetector, Detector, EnergyDetector};
 use cfd_dsp::scf::ScfParams;
 use cfd_scenario::prelude::*;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -84,21 +84,29 @@ fn bench_sweep_evaluation(c: &mut Criterion) {
     let sweep = SnrSweep::new(vec![-4.0, 0.0, 4.0], 4).expect("valid sweep");
 
     group.bench_function("energy_3snr_4trials", |b| {
-        let detectors = vec![SweepDetectorFactory::Energy(
-            EnergyDetector::new(1.0, 0.1, len).expect("valid detector"),
-        )];
-        b.iter(|| evaluate_sweep(&scenario, &sweep, &detectors).unwrap());
+        let energy = EnergyDetector::new(1.0, 0.1, len).expect("valid detector");
+        b.iter(|| {
+            SweepBuilder::new(&scenario)
+                .sweep(sweep.clone())
+                .backend(energy.clone())
+                .run()
+                .unwrap()
+        });
     });
     group.bench_function("cfd_3snr_4trials", |b| {
-        let detectors = vec![SweepDetectorFactory::Cyclostationary(
-            CyclostationaryDetector::new(params.clone(), 0.35, 1).expect("valid detector"),
-        )];
-        b.iter(|| evaluate_sweep(&scenario, &sweep, &detectors).unwrap());
+        let cfd = CyclostationaryDetector::new(params.clone(), 0.35, 1).expect("valid detector");
+        b.iter(|| {
+            SweepBuilder::new(&scenario)
+                .sweep(sweep.clone())
+                .backend(cfd.clone())
+                .run()
+                .unwrap()
+        });
     });
     group.finish();
 }
 
-/// Serial vs parallel execution of the identical sweep: same factories,
+/// Serial vs parallel execution of the identical sweep: same recipes,
 /// same seeded trials, bit-identical tables — only the scheduling differs.
 fn bench_sweep_engine_parallelism(c: &mut Criterion) {
     let mut group = c.benchmark_group("scenario_sweep_engine");
@@ -110,14 +118,19 @@ fn bench_sweep_engine_parallelism(c: &mut Criterion) {
     let len = params.samples_needed();
     let scenario = RadioScenario::preset("bpsk-awgn", len).expect("built-in preset");
     let sweep = SnrSweep::new(vec![-4.0, 0.0, 4.0], 16).expect("valid sweep");
-    let detectors = vec![
-        SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.1, len).expect("valid detector")),
-        SweepDetectorFactory::Cyclostationary(
-            CyclostationaryDetector::new(params, 0.35, 1).expect("valid detector"),
-        ),
-    ];
+    let energy = EnergyDetector::new(1.0, 0.1, len).expect("valid detector");
+    let cfd = CyclostationaryDetector::new(params, 0.35, 1).expect("valid detector");
+    let run_with = |workers: usize| {
+        SweepBuilder::new(&scenario)
+            .sweep(sweep.clone())
+            .backend(energy.clone())
+            .backend(cfd.clone())
+            .workers(workers)
+            .run()
+            .unwrap()
+    };
     group.bench_function("cfd_serial", |b| {
-        b.iter(|| evaluate_sweep_serial(&scenario, &sweep, &detectors).unwrap());
+        b.iter(|| run_with(1));
     });
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut worker_counts = vec![2usize];
@@ -129,9 +142,7 @@ fn bench_sweep_engine_parallelism(c: &mut Criterion) {
             BenchmarkId::new("cfd_parallel", workers),
             &workers,
             |b, &workers| {
-                b.iter(|| {
-                    evaluate_sweep_with_workers(&scenario, &sweep, &detectors, workers).unwrap()
-                });
+                b.iter(|| run_with(workers));
             },
         );
     }
@@ -141,9 +152,10 @@ fn bench_sweep_engine_parallelism(c: &mut Criterion) {
 /// Before/after of the shared-spectra rework for a roster of several CFD
 /// detectors: `per_replica` re-runs windowing + FFT + DSCF from raw
 /// samples inside every replica (the old behaviour, reconstructed via
-/// `SweepDetector::decide`), `shared_spectra` is the current engine path
-/// where each trial's block spectra are computed once and every CFD
-/// replica reuses them. Decisions are identical; only the work differs.
+/// `Detector::detect`), `shared_observation` is the current engine path
+/// where each trial's block spectra are computed once inside a reusable
+/// `Observation` and every CFD backend reuses them. Decisions are
+/// identical; only the work differs.
 fn bench_sweep_shared_spectra(c: &mut Criterion) {
     let mut group = c.benchmark_group("scenario_sweep_shared_spectra");
     group
@@ -157,12 +169,10 @@ fn bench_sweep_shared_spectra(c: &mut Criterion) {
     // Three CFD detectors at the same ScfParams but different operating
     // points — the roster shape the ROADMAP's "reuse H1 block spectra
     // across detectors" item is about.
-    let factories: Vec<SweepDetectorFactory> = [0.25, 0.35, 0.45]
+    let detectors: Vec<CyclostationaryDetector> = [0.25, 0.35, 0.45]
         .iter()
         .map(|&threshold| {
-            SweepDetectorFactory::Cyclostationary(
-                CyclostationaryDetector::new(params.clone(), threshold, 1).expect("valid detector"),
-            )
+            CyclostationaryDetector::new(params.clone(), threshold, 1).expect("valid detector")
         })
         .collect();
     let observations: Vec<_> = (0..trials)
@@ -170,12 +180,17 @@ fn bench_sweep_shared_spectra(c: &mut Criterion) {
         .collect();
 
     group.bench_function("per_replica_fft_3cfd_8trials", |b| {
-        let mut replicas: Vec<_> = factories.iter().map(|f| f.build().unwrap()).collect();
+        let replicas: Vec<_> = detectors.to_vec();
         b.iter(|| {
             let mut positives = 0usize;
             for observation in &observations {
-                for replica in &mut replicas {
-                    if replica.decide(&observation.samples).unwrap() {
+                for replica in &replicas {
+                    if replica
+                        .detect(&observation.samples)
+                        .unwrap()
+                        .decision
+                        .is_signal()
+                    {
                         positives += 1;
                     }
                 }
@@ -183,15 +198,18 @@ fn bench_sweep_shared_spectra(c: &mut Criterion) {
             positives
         });
     });
-    group.bench_function("shared_spectra_3cfd_8trials", |b| {
-        let mut replicas: Vec<_> = factories.iter().map(|f| f.build().unwrap()).collect();
-        let mut workspace = SpectraWorkspace::new();
+    group.bench_function("shared_observation_3cfd_8trials", |b| {
+        let mut replicas: Vec<_> = detectors.to_vec();
+        let mut shared = Observation::new();
         b.iter(|| {
             let mut positives = 0usize;
             for observation in &observations {
-                let mut shared = workspace.observation(&observation.samples);
+                shared.load(&observation.samples);
                 for replica in &mut replicas {
-                    if replica.decide_from_spectra(&mut shared).unwrap() {
+                    if SensingBackend::decide(replica, &mut shared)
+                        .unwrap()
+                        .is_signal()
+                    {
                         positives += 1;
                     }
                 }

@@ -1,5 +1,5 @@
 //! The detector study behind the paper's motivation: cyclostationary feature
-//! detection versus the energy detector of [7], with and without noise
+//! detection versus the energy detector of \[7\], with and without noise
 //! -floor uncertainty, across SNR.
 //!
 //! Run with: `cargo run --release -p cfd-bench --bin detector_comparison`

@@ -113,33 +113,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario =
         RadioScenario::preset("bpsk-awgn", application.samples_needed()).expect("built-in preset");
     let sweep = SnrSweep::new(vec![5.0], 8)?;
-    let detectors = vec![
-        SweepDetectorFactory::tiled_soc(application, &Platform::paper(), 0.35, 1),
-        SweepDetectorFactory::Cyclostationary(cfd_dsp::detector::CyclostationaryDetector::new(
+    let table = SweepBuilder::new(&scenario)
+        .sweep(sweep.clone())
+        .backend(SessionRecipe::new(
+            application.clone(),
+            &Platform::paper(),
+            0.35,
+            1,
+        ))
+        .backend(cfd_dsp::detector::CyclostationaryDetector::new(
             scf_params, 0.35, 1,
-        )?),
-    ];
-    let table = evaluate_sweep(&scenario, &sweep, &detectors)?;
+        )?)
+        .run()?;
     print!("{}", table.render());
     println!("(the SoC rows must equal the golden-model rows: same DSCF, same statistic)");
 
     header("Platform-path timing: SoC-roster sweep, analytic fast path vs lockstep simulation");
-    let soc_roster = |mode| {
-        vec![SweepDetectorFactory::tiled_soc(
-            CfdApplication::new(32, 7, 32).expect("valid application"),
+    let soc_recipe = |mode| {
+        SessionRecipe::new(
+            application.clone(),
             &Platform::paper().with_mode(mode),
             0.35,
             1,
-        )]
+        )
     };
-    let time_sweep =
-        |detectors: &[SweepDetectorFactory]| -> Result<f64, Box<dyn std::error::Error>> {
-            let started = std::time::Instant::now();
-            evaluate_sweep(&scenario, &sweep, detectors)?;
-            Ok(started.elapsed().as_secs_f64())
-        };
-    let analytic_seconds = time_sweep(&soc_roster(tiled_soc::config::ExecutionMode::Analytic))?;
-    let lockstep_seconds = time_sweep(&soc_roster(tiled_soc::config::ExecutionMode::Lockstep))?;
+    let time_sweep = |recipe: SessionRecipe| -> Result<f64, Box<dyn std::error::Error>> {
+        let started = std::time::Instant::now();
+        SweepBuilder::new(&scenario)
+            .sweep(sweep.clone())
+            .backend(recipe)
+            .run()?;
+        Ok(started.elapsed().as_secs_f64())
+    };
+    let analytic_seconds = time_sweep(soc_recipe(tiled_soc::config::ExecutionMode::Analytic))?;
+    let lockstep_seconds = time_sweep(soc_recipe(tiled_soc::config::ExecutionMode::Lockstep))?;
     let speedup = lockstep_seconds / analytic_seconds.max(f64::MIN_POSITIVE);
     println!("analytic sweep            : {:.4} s", analytic_seconds);
     println!("lockstep sweep            : {:.4} s", lockstep_seconds);

@@ -18,7 +18,7 @@
 //! | `fig10_fig11_montium` | Figs. 10–11 Montium resources and CFD mapping |
 //! | `section5_evaluation` | Section 5 latency/bandwidth/area/power + scaling |
 //! | `functional_check` | cross-check of every implementation layer |
-//! | `detector_comparison` | CFD vs energy detector (the motivation of [7]) |
+//! | `detector_comparison` | CFD vs energy detector (the motivation of \[7\]) |
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,660 @@
+//! The unified sensing API: one [`Observation`] in, one [`Decision`] out,
+//! through the open [`SensingBackend`] trait.
+//!
+//! The paper's point — and the reason Cabric et al. survey *several*
+//! sensing options — is that different detectors and platforms must be
+//! compared under the same observations. This module is the single surface
+//! for that comparison:
+//!
+//! * [`Observation`] owns one observation's raw samples and lazily
+//!   computes/caches its block spectra (eq. 2) and integrated DSCF (eq. 3)
+//!   per [`ScfParams`], so every backend deciding on the same observation
+//!   shares one FFT + correlation pass. Buffers persist across trials:
+//!   steady-state reuse performs no allocation.
+//! * [`Decision`] is the one structured result: a [`Verdict`], the scalar
+//!   statistic and threshold behind it, and (for platform-backed paths)
+//!   optional [`PlatformMetrics`].
+//! * [`SensingBackend`] is the open trait every detector implements —
+//!   [`EnergyDetector`], [`CyclostationaryDetector`], the tiled-SoC
+//!   [`SpectrumSensor`](crate::sensing::SpectrumSensor) and
+//!   [`SensingSession`] all do, and so can any third-party detector,
+//!   which then participates in `cfd-scenario`'s parallel ROC sweeps
+//!   without touching any of these crates.
+//! * [`BackendRecipe`] is the shareable description from which each sweep
+//!   worker builds its own backend replica; every `Clone + Sync` backend
+//!   is automatically its own recipe, and [`SessionRecipe`] opens a fresh
+//!   [`SensingSession`] per worker.
+//!
+//! # Example: a custom backend through the unified surface
+//!
+//! ```
+//! use cfd_core::backend::{Decision, Observation, SensingBackend};
+//! use cfd_core::error::CfdError;
+//! use cfd_dsp::detector::Verdict;
+//! use cfd_dsp::signal::awgn;
+//!
+//! /// A toy detector: thresholds the mean magnitude of the samples.
+//! #[derive(Debug, Clone)]
+//! struct MeanMagnitude {
+//!     threshold: f64,
+//! }
+//!
+//! impl SensingBackend for MeanMagnitude {
+//!     fn label(&self) -> String {
+//!         "mean-magnitude".into()
+//!     }
+//!
+//!     fn decide(&mut self, observation: &mut Observation) -> Result<Decision, CfdError> {
+//!         let samples = observation.samples();
+//!         let statistic =
+//!             samples.iter().map(|x| x.abs()).sum::<f64>() / samples.len().max(1) as f64;
+//!         Ok(Decision::new(statistic, self.threshold))
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), CfdError> {
+//! let mut backend = MeanMagnitude { threshold: 0.5 };
+//! let mut observation = Observation::from_samples(awgn(1024, 4.0, 7));
+//! let decision = backend.decide(&mut observation)?;
+//! assert_eq!(decision.verdict, Verdict::SignalPresent);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::app::{CfdApplication, Platform};
+use crate::error::CfdError;
+use crate::sensing::SensingSession;
+use cfd_dsp::complex::Cplx;
+use cfd_dsp::detector::{
+    CyclostationaryDetector, DetectionOutcome, Detector, EnergyDetector, Verdict,
+};
+use cfd_dsp::scf::{ScfEngine, ScfMatrix, ScfParams};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use tiled_soc::power::PlatformMetrics;
+
+/// Monotone global count of block-spectra computations performed through
+/// [`Observation::spectra_for`] / [`Observation::scf_for`].
+static SPECTRA_COMPUTATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of block-spectra computations performed by [`Observation`]
+/// caches since process start, across all threads.
+///
+/// This exists so tests can pin the sweep engine's contract — spectra are
+/// computed **once per trial**, not once per backend replica — by measuring
+/// the delta around a sweep. It is monotone and global; measure deltas in
+/// isolation (other concurrent sweeps also increment it).
+pub fn spectra_computations() -> u64 {
+    SPECTRA_COMPUTATIONS.load(Ordering::Relaxed)
+}
+
+/// One per-[`ScfParams`] cache slot: the block spectra and the DSCF matrix,
+/// plus validity flags for the current samples. The allocations persist
+/// across observations; only the flags are reset.
+#[derive(Debug)]
+struct CachedSpectra {
+    params: ScfParams,
+    spectra: Vec<Vec<Cplx>>,
+    spectra_valid: bool,
+    scf: ScfMatrix,
+    scf_valid: bool,
+}
+
+/// One observation: the raw samples plus lazily computed, cached block
+/// spectra (eq. 2) and the integrated DSCF matrix (eq. 3), keyed by
+/// [`ScfParams`].
+///
+/// Every [`SensingBackend`] deciding on the same observation shares the
+/// caches: a roster with several cyclostationary detectors at the same
+/// parameters computes the spectra **and** the DSCF once (thresholds and
+/// guard zones only affect the final statistic, not the matrix), and
+/// detectors at different parameters each get their own slot. Computation
+/// goes through the requesting backend's own [`ScfEngine`], so the shared
+/// results are bit-identical to what that backend's raw-sample path would
+/// compute internally.
+///
+/// The buffers — samples, spectra, matrices — persist across
+/// [`Observation::load`] / [`Observation::set_samples`] calls, so reusing
+/// one `Observation` across the trials of a sweep performs no steady-state
+/// allocation.
+///
+/// # Examples
+///
+/// ```
+/// use cfd_core::backend::Observation;
+/// use cfd_dsp::scf::{ScfEngine, ScfParams};
+/// use cfd_dsp::signal::awgn;
+///
+/// # fn main() -> Result<(), cfd_core::error::CfdError> {
+/// let params = ScfParams::new(32, 7, 8)?;
+/// let engine = ScfEngine::new(params.clone())?;
+/// let mut observation = Observation::new();
+/// observation.load(&awgn(params.samples_needed(), 1.0, 1));
+/// // First request computes the spectra; the second is served from cache.
+/// assert_eq!(observation.computed(), 0);
+/// assert_eq!(observation.spectra_for(&engine)?.len(), 8);
+/// assert_eq!(observation.computed(), 1);
+/// let scf = observation.scf_for(&engine)?;
+/// assert_eq!(scf.grid_size(), 15);
+/// assert_eq!(observation.computed(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Observation {
+    samples: Vec<Cplx>,
+    entries: Vec<CachedSpectra>,
+}
+
+impl Observation {
+    /// An empty observation; load samples with [`Observation::load`] or
+    /// [`Observation::set_samples`] before deciding on it.
+    pub fn new() -> Self {
+        Observation::default()
+    }
+
+    /// An observation owning `samples`.
+    pub fn from_samples(samples: Vec<Cplx>) -> Self {
+        Observation {
+            samples,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Starts a new observation by copying `samples` into the owned buffer
+    /// (reusing its allocation) and invalidating the cached spectra
+    /// without freeing them.
+    pub fn load(&mut self, samples: &[Cplx]) {
+        self.samples.clear();
+        self.samples.extend_from_slice(samples);
+        self.invalidate();
+    }
+
+    /// Starts a new observation by taking ownership of `samples` (no copy)
+    /// and invalidating the cached spectra without freeing them.
+    pub fn set_samples(&mut self, samples: Vec<Cplx>) {
+        self.samples = samples;
+        self.invalidate();
+    }
+
+    /// The raw observation samples.
+    pub fn samples(&self) -> &[Cplx] {
+        &self.samples
+    }
+
+    /// Marks every cached result stale (buffers are kept).
+    fn invalidate(&mut self) {
+        for entry in &mut self.entries {
+            entry.spectra_valid = false;
+            entry.scf_valid = false;
+        }
+    }
+
+    /// Index of the cache slot for `engine`'s parameters with valid
+    /// spectra for the current samples, computing (and counting) them on
+    /// first request.
+    fn entry_index(&mut self, engine: &ScfEngine) -> Result<usize, CfdError> {
+        let index = match self
+            .entries
+            .iter()
+            .position(|entry| &entry.params == engine.params())
+        {
+            Some(index) => index,
+            None => {
+                self.entries.push(CachedSpectra {
+                    params: engine.params().clone(),
+                    spectra: Vec::new(),
+                    spectra_valid: false,
+                    scf: ScfMatrix::zeros(engine.params().max_offset),
+                    scf_valid: false,
+                });
+                self.entries.len() - 1
+            }
+        };
+        let entry = &mut self.entries[index];
+        if !entry.spectra_valid {
+            engine.compute_spectra_into(&self.samples, &mut entry.spectra)?;
+            entry.spectra_valid = true;
+            SPECTRA_COMPUTATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(index)
+    }
+
+    /// The block spectra (eq. 2) for `engine`'s parameters, computed at
+    /// most once per observation and reused afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spectra computation errors (e.g. too few samples).
+    pub fn spectra_for(&mut self, engine: &ScfEngine) -> Result<&[Vec<Cplx>], CfdError> {
+        let index = self.entry_index(engine)?;
+        Ok(&self.entries[index].spectra)
+    }
+
+    /// The integrated DSCF matrix (eq. 3) for `engine`'s parameters,
+    /// computed (from the cached spectra, into the cached matrix) at most
+    /// once per observation and shared by every backend at the same
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spectra computation errors (e.g. too few samples).
+    pub fn scf_for(&mut self, engine: &ScfEngine) -> Result<&ScfMatrix, CfdError> {
+        let index = self.entry_index(engine)?;
+        let entry = &mut self.entries[index];
+        if !entry.scf_valid {
+            engine.dscf_from_spectra_into(&entry.spectra, &mut entry.scf);
+            entry.scf_valid = true;
+        }
+        Ok(&entry.scf)
+    }
+
+    /// How many distinct spectra sets are currently computed for this
+    /// observation.
+    pub fn computed(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|entry| entry.spectra_valid)
+            .count()
+    }
+}
+
+/// The one structured result of a sensing decision: the [`Verdict`], the
+/// scalar statistic and threshold behind it, and — for platform-backed
+/// backends — optional [`PlatformMetrics`].
+///
+/// This replaces the previous mix of `bool` (sweep decisions),
+/// [`DetectionOutcome`] (detector-level results) and `SensingReport`
+/// (platform reports) at the [`SensingBackend`] surface.
+///
+/// # Examples
+///
+/// ```
+/// use cfd_core::backend::Decision;
+/// use cfd_dsp::detector::Verdict;
+///
+/// let decision = Decision::new(0.62, 0.35);
+/// assert_eq!(decision.verdict, Verdict::SignalPresent);
+/// assert!(decision.is_signal());
+/// assert!(decision.metrics.is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// The binary verdict ("band occupied?").
+    pub verdict: Verdict,
+    /// The scalar test statistic that was compared against the threshold.
+    pub statistic: f64,
+    /// The threshold used.
+    pub threshold: f64,
+    /// Platform metrics of the decision, for backends that run on a
+    /// simulated platform (`None` for the software golden models).
+    pub metrics: Option<PlatformMetrics>,
+}
+
+impl Decision {
+    /// A decision from a statistic/threshold pair; the verdict is
+    /// `statistic > threshold`, matching every detector in this
+    /// repository.
+    pub fn new(statistic: f64, threshold: f64) -> Self {
+        Decision {
+            verdict: if statistic > threshold {
+                Verdict::SignalPresent
+            } else {
+                Verdict::NoiseOnly
+            },
+            statistic,
+            threshold,
+            metrics: None,
+        }
+    }
+
+    /// Wraps a detector-level [`DetectionOutcome`], preserving its verdict
+    /// bit for bit.
+    pub fn from_outcome(outcome: DetectionOutcome) -> Self {
+        Decision {
+            verdict: outcome.decision,
+            statistic: outcome.statistic,
+            threshold: outcome.threshold,
+            metrics: None,
+        }
+    }
+
+    /// Attaches platform metrics.
+    pub fn with_metrics(mut self, metrics: PlatformMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Convenience: whether the band was declared occupied.
+    pub fn is_signal(&self) -> bool {
+        self.verdict.is_signal()
+    }
+
+    /// The detector-level view of this decision (statistic, threshold,
+    /// verdict — the platform metrics are dropped).
+    pub fn outcome(&self) -> DetectionOutcome {
+        DetectionOutcome {
+            statistic: self.statistic,
+            threshold: self.threshold,
+            decision: self.verdict,
+        }
+    }
+}
+
+/// The open trait unifying every sensing path: one [`Observation`] in, one
+/// [`Decision`] out.
+///
+/// Implemented by [`EnergyDetector`], [`CyclostationaryDetector`], the
+/// tiled-SoC [`SpectrumSensor`](crate::sensing::SpectrumSensor) and
+/// [`SensingSession`] — and by any third-party detector, which then plugs
+/// into `cfd-scenario`'s `SweepBuilder` (via [`BackendRecipe`]) without
+/// touching any crate of this workspace.
+///
+/// Implementations that evaluate block spectra or the DSCF should fetch
+/// them through [`Observation::spectra_for`] / [`Observation::scf_for`]
+/// with their own [`ScfEngine`]: the observation caches the result per
+/// [`ScfParams`], so every backend of a roster shares one FFT +
+/// correlation pass per trial.
+pub trait SensingBackend {
+    /// Stable label for result tables (e.g. ROC rows). Backends of the
+    /// same kind should return the same label; sweep drivers disambiguate
+    /// duplicates.
+    fn label(&self) -> String {
+        "backend".into()
+    }
+
+    /// Takes one sensing decision on the observation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector and platform errors (e.g. too few samples).
+    fn decide(&mut self, observation: &mut Observation) -> Result<Decision, CfdError>;
+
+    /// Takes one decision per observation, in order. The provided
+    /// implementation simply iterates [`SensingBackend::decide`];
+    /// platform-backed backends may override it to stream the batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing decision's error.
+    fn decide_batch(
+        &mut self,
+        observations: &mut [Observation],
+    ) -> Result<Vec<Decision>, CfdError> {
+        observations
+            .iter_mut()
+            .map(|observation| self.decide(observation))
+            .collect()
+    }
+}
+
+impl SensingBackend for EnergyDetector {
+    fn label(&self) -> String {
+        "energy".into()
+    }
+
+    /// The energy statistic is time-domain power: the decision reads the
+    /// raw samples and never touches the spectra caches.
+    fn decide(&mut self, observation: &mut Observation) -> Result<Decision, CfdError> {
+        Ok(Decision::from_outcome(self.detect(observation.samples())?))
+    }
+}
+
+impl SensingBackend for CyclostationaryDetector {
+    fn label(&self) -> String {
+        "cfd".into()
+    }
+
+    /// Decides from the observation's cached DSCF for this detector's
+    /// [`ScfParams`] — computed once per observation and shared with every
+    /// other backend at the same parameters. Decisions are bit-identical
+    /// to [`Detector::detect`] on the raw samples: the engine's spectra
+    /// path is the one `detect` uses internally.
+    fn decide(&mut self, observation: &mut Observation) -> Result<Decision, CfdError> {
+        let scf = observation.scf_for(self.engine())?;
+        Ok(Decision::from_outcome(self.detect_from_scf(scf)))
+    }
+}
+
+/// A shareable recipe from which every sweep worker builds its own
+/// [`SensingBackend`] replica.
+///
+/// Backends are stateful (the platform-backed ones own whole simulated
+/// SoCs), so a single instance would force every decision of a parallel
+/// sweep through one `&mut` borrow. A recipe is the `Sync` description the
+/// workers share; replicas built from the same recipe must produce
+/// identical decisions for identical observations, so any partition of a
+/// trial set over replicas yields the same counts as one backend run
+/// serially.
+///
+/// Every `Clone + Sync` backend is automatically its own recipe (a clone
+/// is a full replica for the configuration-only golden models); platform
+/// sessions are built by [`SessionRecipe`].
+pub trait BackendRecipe: Sync {
+    /// Stable label for result tables (matches the built replica's
+    /// [`SensingBackend::label`]).
+    fn label(&self) -> String;
+
+    /// Builds one independent replica.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors of the underlying backend.
+    fn build(&self) -> Result<Box<dyn SensingBackend>, CfdError>;
+}
+
+/// Every cloneable, shareable backend is its own recipe: a clone is a
+/// fully independent replica because such backends carry only
+/// configuration, no per-observation state.
+impl<B> BackendRecipe for B
+where
+    B: SensingBackend + Clone + Sync + 'static,
+{
+    fn label(&self) -> String {
+        SensingBackend::label(self)
+    }
+
+    fn build(&self) -> Result<Box<dyn SensingBackend>, CfdError> {
+        Ok(Box::new(self.clone()))
+    }
+}
+
+/// Recipe opening a fresh [`SensingSession`] (one platform configuration,
+/// amortised over every decision of the replica's lifetime) per worker —
+/// the platform counterpart of the `Clone` blanket recipe.
+///
+/// # Examples
+///
+/// ```
+/// use cfd_core::app::{CfdApplication, Platform};
+/// use cfd_core::backend::{BackendRecipe, SessionRecipe};
+///
+/// # fn main() -> Result<(), cfd_core::error::CfdError> {
+/// let recipe = SessionRecipe::new(
+///     CfdApplication::new(32, 7, 16)?,
+///     &Platform::paper(),
+///     0.35,
+///     1,
+/// );
+/// assert_eq!(recipe.label(), "cfd-soc");
+/// let _replica = recipe.build()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionRecipe {
+    /// The DSCF application to map onto the platform.
+    pub application: CfdApplication,
+    /// The platform to simulate.
+    pub platform: Platform,
+    /// Detector threshold on the normalised feature statistic.
+    pub threshold: f64,
+    /// Guard zone half-width around `a = 0`.
+    pub guard_offsets: usize,
+}
+
+impl SessionRecipe {
+    /// Creates a session recipe. Construction is validated when a replica
+    /// is built (the platform is not simulated until then).
+    pub fn new(
+        application: CfdApplication,
+        platform: &Platform,
+        threshold: f64,
+        guard_offsets: usize,
+    ) -> Self {
+        SessionRecipe {
+            application,
+            platform: platform.clone(),
+            threshold,
+            guard_offsets,
+        }
+    }
+}
+
+impl BackendRecipe for SessionRecipe {
+    fn label(&self) -> String {
+        "cfd-soc".into()
+    }
+
+    fn build(&self) -> Result<Box<dyn SensingBackend>, CfdError> {
+        Ok(Box::new(SensingSession::new(
+            self.application.clone(),
+            &self.platform,
+            self.threshold,
+            self.guard_offsets,
+        )?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_dsp::scf::dscf_reference;
+    use cfd_dsp::signal::{awgn, SignalBuilder, SymbolModulation};
+
+    fn busy(params: &ScfParams, snr_db: f64, seed: u64) -> Vec<Cplx> {
+        SignalBuilder::new(params.samples_needed())
+            .modulation(SymbolModulation::Bpsk)
+            .samples_per_symbol(4)
+            .snr_db(snr_db)
+            .seed(seed)
+            .build()
+            .unwrap()
+            .samples
+    }
+
+    #[test]
+    fn observation_caches_spectra_and_scf_per_params() {
+        // Cache behaviour is asserted through the per-instance
+        // `computed()` count only: the global `spectra_computations()`
+        // counter is incremented by sibling tests running in parallel, so
+        // exact-delta assertions on it belong to the isolated
+        // `tests/shared_spectra.rs` binary.
+        let params_a = ScfParams::new(32, 7, 8).unwrap();
+        let params_b = ScfParams::new(32, 5, 8).unwrap();
+        let engine_a = ScfEngine::new(params_a.clone()).unwrap();
+        let engine_b = ScfEngine::new(params_b).unwrap();
+        let mut observation = Observation::from_samples(busy(&params_a, 3.0, 1));
+
+        assert_eq!(observation.computed(), 0);
+        observation.spectra_for(&engine_a).unwrap();
+        observation.scf_for(&engine_a).unwrap();
+        observation.spectra_for(&engine_a).unwrap();
+        assert_eq!(observation.computed(), 1);
+        observation.scf_for(&engine_b).unwrap();
+        assert_eq!(observation.computed(), 2);
+
+        // New samples keep the buffers but invalidate the caches.
+        observation.load(&busy(&params_a, 3.0, 2));
+        assert_eq!(observation.computed(), 0);
+        observation.scf_for(&engine_a).unwrap();
+        assert_eq!(observation.computed(), 1);
+    }
+
+    #[test]
+    fn observation_scf_matches_the_reference() {
+        let params = ScfParams::new(32, 7, 8).unwrap();
+        let engine = ScfEngine::new(params.clone()).unwrap();
+        let samples = busy(&params, 3.0, 5);
+        let mut observation = Observation::from_samples(samples.clone());
+        let reference = dscf_reference(&samples, &params).unwrap();
+        assert_eq!(
+            observation
+                .scf_for(&engine)
+                .unwrap()
+                .max_abs_difference(&reference),
+            0.0
+        );
+    }
+
+    #[test]
+    fn observation_propagates_short_sample_errors() {
+        let params = ScfParams::new(32, 7, 8).unwrap();
+        let engine = ScfEngine::new(params).unwrap();
+        let mut observation = Observation::from_samples(awgn(16, 1.0, 1));
+        assert!(observation.spectra_for(&engine).is_err());
+    }
+
+    #[test]
+    fn decision_constructors_agree_with_the_detector_convention() {
+        let decision = Decision::new(0.5, 0.5);
+        assert_eq!(decision.verdict, Verdict::NoiseOnly);
+        assert!(!decision.is_signal());
+        let outcome = decision.outcome();
+        assert_eq!(outcome.statistic, 0.5);
+        assert_eq!(outcome.decision, Verdict::NoiseOnly);
+        let roundtrip = Decision::from_outcome(outcome);
+        assert_eq!(roundtrip, decision);
+    }
+
+    #[test]
+    fn software_backends_decide_identically_to_their_detector_paths() {
+        let params = ScfParams::new(32, 7, 16).unwrap();
+        let samples = busy(&params, 3.0, 7);
+        let mut observation = Observation::from_samples(samples.clone());
+
+        let mut energy = EnergyDetector::new(1.0, 0.05, samples.len()).unwrap();
+        let energy_decision = energy.decide(&mut observation).unwrap();
+        assert_eq!(energy_decision.outcome(), energy.detect(&samples).unwrap());
+        assert_eq!(SensingBackend::label(&energy), "energy");
+        assert!(energy_decision.metrics.is_none());
+
+        let mut cfd = CyclostationaryDetector::new(params, 0.35, 1).unwrap();
+        let cfd_decision = cfd.decide(&mut observation).unwrap();
+        assert_eq!(cfd_decision.outcome(), cfd.detect(&samples).unwrap());
+        assert_eq!(SensingBackend::label(&cfd), "cfd");
+    }
+
+    #[test]
+    fn clone_backends_are_their_own_recipes() {
+        let params = ScfParams::new(32, 7, 8).unwrap();
+        let detector = CyclostationaryDetector::new(params.clone(), 0.35, 1).unwrap();
+        let recipe: &dyn BackendRecipe = &detector;
+        assert_eq!(recipe.label(), "cfd");
+        let mut replica = recipe.build().unwrap();
+        let mut observation = Observation::from_samples(busy(&params, 5.0, 3));
+        let decision = replica.decide(&mut observation).unwrap();
+        let mut original = detector.clone();
+        assert_eq!(
+            decision,
+            SensingBackend::decide(&mut original, &mut observation).unwrap()
+        );
+    }
+
+    #[test]
+    fn provided_decide_batch_iterates_decide() {
+        let params = ScfParams::new(32, 7, 8).unwrap();
+        let mut detector = CyclostationaryDetector::new(params.clone(), 0.35, 1).unwrap();
+        let mut observations: Vec<Observation> = (0..3)
+            .map(|seed| Observation::from_samples(busy(&params, 0.0, 20 + seed)))
+            .collect();
+        let batch = detector.decide_batch(&mut observations).unwrap();
+        assert_eq!(batch.len(), 3);
+        for (observation, decision) in observations.iter_mut().zip(&batch) {
+            assert_eq!(
+                &SensingBackend::decide(&mut detector, observation).unwrap(),
+                decision
+            );
+        }
+    }
+}

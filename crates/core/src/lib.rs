@@ -13,7 +13,10 @@
 //! * [`report`] — the Table 1 reproduction and the Section 5 evaluation /
 //!   scaling study;
 //! * [`sensing`] — end-to-end spectrum sensing on the simulated tiled SoC
-//!   (`tiled-soc`), with an energy-detector baseline.
+//!   (`tiled-soc`), with an energy-detector baseline;
+//! * [`backend`] — the unified sensing API: one [`Observation`] in, one
+//!   [`Decision`] out, through the open [`SensingBackend`] trait that any
+//!   detector (including third-party ones) implements to join sweeps.
 //!
 //! ## Example: the paper's headline result
 //!
@@ -35,12 +38,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod app;
+pub mod backend;
 pub mod error;
 pub mod methodology;
 pub mod report;
 pub mod sensing;
 
 pub use app::{CfdApplication, Platform};
+pub use backend::{BackendRecipe, Decision, Observation, SensingBackend, SessionRecipe};
 pub use error::CfdError;
 pub use methodology::{MappingReport, Step1Report, Step2Report, TwoStepMapping};
 pub use report::{EvaluationReport, EvaluationRow, Table1Report, Table1Row};
@@ -49,6 +54,9 @@ pub use sensing::{SensingReport, SpectrumSensor};
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::app::{CfdApplication, Platform};
+    pub use crate::backend::{
+        spectra_computations, BackendRecipe, Decision, Observation, SensingBackend, SessionRecipe,
+    };
     pub use crate::error::CfdError;
     pub use crate::methodology::{MappingReport, Step1Report, Step2Report, TwoStepMapping};
     pub use crate::report::{EvaluationReport, EvaluationRow, Table1Report, Table1Row};

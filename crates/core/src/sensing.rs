@@ -4,14 +4,15 @@
 //! decide whether a licensed user occupies a band by computing the DSCF of
 //! the received samples — here on the simulated tiled SoC rather than a
 //! golden model — and thresholding its cyclic features. An energy-detector
-//! baseline (the simpler alternative of Cabric et al. [7]) is provided for
+//! baseline (the simpler alternative of Cabric et al. \[7\]) is provided for
 //! comparison.
 
 use crate::app::{CfdApplication, Platform};
+use crate::backend::{Decision, Observation, SensingBackend};
 use crate::error::CfdError;
 use cfd_dsp::complex::Cplx;
 use cfd_dsp::detector::{
-    CyclostationaryDetector, Decision, DetectionOutcome, Detector, EnergyDetector,
+    CyclostationaryDetector, DetectionOutcome, Detector, EnergyDetector, Verdict,
 };
 use cfd_dsp::scf::ScfMatrix;
 use serde::{Deserialize, Serialize};
@@ -41,7 +42,7 @@ pub struct SensingReport {
 impl SensingReport {
     /// Convenience: whether the band was declared occupied.
     pub fn occupied(&self) -> bool {
-        self.outcome.decision == Decision::SignalPresent
+        self.outcome.decision == Verdict::SignalPresent
     }
 }
 
@@ -182,6 +183,28 @@ impl SpectrumSensor {
             metrics,
             latency_us,
         })
+    }
+}
+
+impl SensingBackend for SpectrumSensor {
+    fn label(&self) -> String {
+        "cfd-soc".into()
+    }
+
+    /// One decision through the unified surface: an analytic
+    /// full-precision platform consumes the observation's cached software
+    /// spectra (one FFT per trial for the whole roster), a simulating or
+    /// Q15 platform computes its own on-tile spectra from the raw samples.
+    /// Either way the decision is identical to [`SpectrumSensor::decide`]
+    /// on the raw samples.
+    fn decide(&mut self, observation: &mut Observation) -> Result<Decision, CfdError> {
+        let outcome = if self.shares_software_spectra() {
+            let spectra = observation.spectra_for(self.engine())?;
+            self.decide_from_spectra(spectra)?
+        } else {
+            SpectrumSensor::decide(self, observation.samples())?
+        };
+        Ok(Decision::from_outcome(outcome))
     }
 }
 
@@ -400,6 +423,28 @@ impl SensingSession {
             cycles_per_block,
             self.sensor.application.fft_len,
         )
+    }
+}
+
+impl SensingBackend for SensingSession {
+    fn label(&self) -> String {
+        "cfd-soc".into()
+    }
+
+    /// One decision plus the usual session accounting (the decision counts
+    /// toward [`SensingSession::decisions`] and the session totals). Like
+    /// [`SpectrumSensor`]'s backend impl, an analytic full-precision
+    /// platform consumes the observation's cached software spectra; the
+    /// returned decision carries the session's accumulated
+    /// [`PlatformMetrics`].
+    fn decide(&mut self, observation: &mut Observation) -> Result<Decision, CfdError> {
+        let outcome = if self.shares_software_spectra() {
+            let spectra = observation.spectra_for(self.sensor.engine())?;
+            self.decide_from_spectra(spectra)?
+        } else {
+            SensingSession::decide(self, observation.samples())?
+        };
+        Ok(Decision::from_outcome(outcome).with_metrics(self.session_metrics()))
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! Section 1 of the paper positions Cyclostationary Feature Detection (CFD)
 //! as "the most promising but computationally intensive alternative" among
-//! the spectrum-sensing options of Cabric et al. [7], the simplest of which
+//! the spectrum-sensing options of Cabric et al. \[7\], the simplest of which
 //! is the energy detector. Section 2 describes CFD as "a combination of an
 //! energy detector and a single correlator block".
 //!
@@ -20,21 +20,29 @@ use crate::error::DspError;
 use crate::scf::{ScfEngine, ScfMatrix, ScfParams};
 use crate::signal::signal_power;
 
-/// Outcome of a detection decision.
+/// The binary verdict of a detection decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
-pub enum Decision {
+pub enum Verdict {
     /// The band is declared occupied by a licensed user.
     SignalPresent,
     /// The band is declared vacant.
     NoiseOnly,
 }
 
-impl Decision {
+impl Verdict {
     /// Convenience conversion to a boolean ("signal present?").
     pub fn is_signal(self) -> bool {
-        matches!(self, Decision::SignalPresent)
+        matches!(self, Verdict::SignalPresent)
     }
 }
+
+/// The old name of [`Verdict`], kept as a migration shim. The name
+/// `Decision` now refers to the structured result of the unified sensing
+/// API (`cfd_core::backend::Decision`: verdict + statistic + threshold +
+/// optional platform metrics).
+#[deprecated(note = "renamed to `Verdict`; `Decision` is now the structured \
+                     result of `cfd_core::backend::SensingBackend`")]
+pub type Decision = Verdict;
 
 /// The result of running a detector on one observation.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -44,7 +52,7 @@ pub struct DetectionOutcome {
     /// The threshold used.
     pub threshold: f64,
     /// The resulting decision.
-    pub decision: Decision,
+    pub decision: Verdict,
 }
 
 /// A recipe for building independent detector replicas.
@@ -105,9 +113,9 @@ pub trait Detector {
             statistic,
             threshold,
             decision: if statistic > threshold {
-                Decision::SignalPresent
+                Verdict::SignalPresent
             } else {
-                Decision::NoiseOnly
+                Verdict::NoiseOnly
             },
         })
     }
@@ -363,9 +371,9 @@ impl CyclostationaryDetector {
             statistic,
             threshold: self.threshold,
             decision: if statistic > self.threshold {
-                Decision::SignalPresent
+                Verdict::SignalPresent
             } else {
-                Decision::NoiseOnly
+                Verdict::NoiseOnly
             },
         }
     }
@@ -575,8 +583,8 @@ mod tests {
 
     #[test]
     fn decision_helpers() {
-        assert!(Decision::SignalPresent.is_signal());
-        assert!(!Decision::NoiseOnly.is_signal());
+        assert!(Verdict::SignalPresent.is_signal());
+        assert!(!Verdict::NoiseOnly.is_signal());
     }
 
     #[test]

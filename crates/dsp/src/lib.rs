@@ -59,8 +59,8 @@ pub mod window;
 pub mod prelude {
     pub use crate::complex::{Cplx, CplxQ15};
     pub use crate::detector::{
-        CyclostationaryDetector, Decision, DetectionOutcome, Detector, DetectorFactory,
-        EnergyDetector,
+        CyclostationaryDetector, DetectionOutcome, Detector, DetectorFactory, EnergyDetector,
+        Verdict,
     };
     pub use crate::error::DspError;
     pub use crate::fft::{fft, fft_in_place, ifft, ifft_in_place, FftPlan};

@@ -1,7 +1,7 @@
 //! Detection-performance metrics.
 //!
 //! The paper motivates CFD by its superior detection of licensed users; the
-//! baseline comparison the literature (Cabric et al. [7]) makes is the
+//! baseline comparison the literature (Cabric et al. \[7\]) makes is the
 //! probability of detection `Pd` at a fixed probability of false alarm
 //! `Pfa`. This module estimates both by Monte-Carlo simulation and builds
 //! ROC curves for the detector-comparison experiment in the bench harness.

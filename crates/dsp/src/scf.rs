@@ -439,7 +439,7 @@ pub fn dscf_from_spectra(spectra: &[Vec<Cplx>], params: &ScfParams) -> ScfMatrix
 ///
 /// * an [`FftPlan`] and the analysis-window coefficients, shared by every
 ///   block of every observation ([`ScfEngine::compute_spectra`] routes
-///   through [`block_spectrum_with_plan`], the same code path
+///   through [`block_spectrum_with_plan`](crate::fft::block_spectrum_with_plan), the same code path
 ///   [`block_spectrum`] uses, so engine spectra are bit-identical to the
 ///   golden model's);
 /// * the [`centred_bin`] index tables `bin(f+a)` / `bin(f-a)` for the

@@ -1,7 +1,7 @@
 //! Small integer vectors and matrices.
 //!
 //! The array-processor design techniques of Kung ("VLSI Array Processors",
-//! the paper's reference [4]) express mappings as integer matrix operators:
+//! the paper's reference \[4\]) express mappings as integer matrix operators:
 //! a *processor-assignment matrix* `P` maps a dependence-graph node
 //! `v` to the processor `P^T·v`, and a *scheduling vector* `s` maps it to the
 //! execution time `s^T·v`. This module provides the tiny exact integer

@@ -28,7 +28,7 @@ pub struct MontiumConfig {
     /// Additional cycles needed to read new operand data after each group of
     /// `tasks_per_core` MACs (the paper's simulation: 3).
     pub data_read_cycles: u64,
-    /// Cycles for a 256-point FFT on one tile (from Heysters [3]: 1040).
+    /// Cycles for a 256-point FFT on one tile (from Heysters \[3\]: 1040).
     pub fft256_cycles: u64,
     /// Silicon area of one tile in mm² (0.13 µm CMOS12).
     pub area_mm2: f64,
@@ -106,7 +106,7 @@ impl MontiumConfig {
     /// Cycle cost of a `fft_len`-point FFT on one tile.
     ///
     /// Calibrated so that a 256-point FFT costs exactly the 1040 cycles
-    /// reported by Heysters [3]; other sizes scale with the radix-2
+    /// reported by Heysters \[3\]; other sizes scale with the radix-2
     /// butterfly count `(K/2)·log2(K)` plus the same relative overhead.
     pub fn fft_cycles(&self, fft_len: usize) -> u64 {
         assert!(

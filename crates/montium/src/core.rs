@@ -204,7 +204,7 @@ impl MontiumCore {
     }
 
     /// Computes the block spectrum of `samples` on this tile's ALU and
-    /// accounts the [`Phase::Fft`] cycle budget calibrated to Heysters [3].
+    /// accounts the [`Phase::Fft`] cycle budget calibrated to Heysters \[3\].
     ///
     /// The arithmetic goes through the shared [`cfd_dsp::fft::FftPlan`]
     /// (cached per thread) — the same twiddles and butterfly ordering the

@@ -234,7 +234,7 @@ impl MemorySystem {
 /// An address-generation unit: produces the address sequence
 /// `base, base+stride, base+2·stride, …` modulo `modulo`.
 ///
-/// Each Montium memory is accompanied by an AGU ([3]); the CFD kernel uses
+/// Each Montium memory is accompanied by an AGU (\[3\]); the CFD kernel uses
 /// one to walk the `T` shift-register entries of M09/M10 every clock cycle
 /// and one to address the accumulator of the current `(task, frequency)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -1,56 +1,50 @@
 //! Detector evaluation over SNR sweeps: Monte-Carlo Pd/Pfa estimation and
-//! ROC tables, executed by a parallel batched sweep engine.
+//! ROC tables, executed by a parallel batched sweep engine over the open
+//! [`SensingBackend`] surface.
 //!
-//! The harness runs any mix of the three detector paths of this repository
-//! — the [`EnergyDetector`] baseline, the golden-model
-//! [`CyclostationaryDetector`], and the full tiled-SoC sensing path
-//! (a [`SensingSession`] over the paper's platform) — over a
-//! [`RadioScenario`] at each SNR of a sweep, and tabulates the detection
-//! probability `Pd` (decide "occupied" under H1) and false-alarm
-//! probability `Pfa` (decide "occupied" under H0) per detector and SNR.
+//! The harness runs any roster of [`BackendRecipe`]s — the built-in
+//! [`EnergyDetector`] baseline, the golden-model
+//! [`CyclostationaryDetector`], the full tiled-SoC sensing path (a
+//! [`SessionRecipe`](cfd_core::backend::SessionRecipe) opening a `SensingSession` per worker), or any
+//! user-defined backend — over a [`RadioScenario`] at each SNR of a sweep,
+//! and tabulates the detection probability `Pd` (decide "occupied" under
+//! H1) and false-alarm probability `Pfa` (decide "occupied" under H0) per
+//! backend and SNR. Sweeps are described and launched by [`SweepBuilder`].
 //!
 //! ## Execution model
 //!
-//! Detectors are stateful (the SoC path owns a whole simulated platform),
-//! so the sweep is described by [`SweepDetectorFactory`] values rather than
-//! detector instances: every worker thread builds its own replica of each
-//! detector once, the SoC replicas open a [`SensingSession`] (one platform
-//! configuration per session, however many decisions stream through), and
-//! a work queue of `(snr_point, trial-chunk)` cells is distributed over the
+//! Backends are stateful (the SoC path owns a whole simulated platform),
+//! so the sweep is described by recipes rather than backend instances:
+//! every worker thread builds its own replica of each backend once, and a
+//! work queue of `(snr_point, trial-chunk)` cells is distributed over the
 //! workers via crossbeam channels inside a [`std::thread::scope`].
 //!
 //! Determinism is preserved under any scheduling: observations are seeded
 //! by trial index (common random numbers), decisions are independent
 //! booleans, and the per-cell detection counts are merged by integer
-//! addition — so [`evaluate_sweep`] is bit-identical to
-//! [`evaluate_sweep_serial`] for every worker count.
+//! addition — so the table is bit-identical for every worker count.
 //!
 //! ## Shared block spectra
 //!
 //! The dominant cost of a CFD trial is the windowed FFT + DSCF pipeline,
 //! and the block spectra (eq. 2) depend only on the observation and the
-//! [`ScfParams`] — not on a detector's threshold or guard zone. Both
-//! execution paths therefore wrap each observation in a [`SharedSpectra`]
-//! and drive replicas through [`SweepDetector::decide_from_spectra`]: the
-//! spectra are computed **once per trial** per distinct `ScfParams` and
-//! every golden-model CFD replica in the roster reuses them (decisions are
-//! identical to the raw-sample path — the engine's spectra are
-//! bit-identical to what `decide` computes internally). Tiled-SoC replicas
-//! join the sharing too: an analytic full-precision platform feeds the
-//! shared spectra straight into its spectra-fed correlator
-//! (`TiledSoc::run_from_spectra`), so a roster mixing software CFD and SoC
-//! replicas at the same parameters performs **one FFT per trial total**.
-//! The energy detector's statistic is time-domain power (it never ran an
-//! FFT), and a simulating (`Lockstep`/`Threaded`, the cycle-accurate
-//! golden reference) or Q15 SoC replica computes its own on-tile spectra
-//! by design — those read the raw samples. The global
-//! [`shared_spectra_computations`] counter lets tests pin the
-//! once-per-trial contract.
+//! [`ScfParams`] — not on a backend's threshold or guard zone. Each worker
+//! therefore owns one reusable [`Observation`] and lets every backend
+//! decide through it: the spectra **and** the integrated DSCF are computed
+//! **once per trial** per distinct `ScfParams` and cached inside the
+//! observation, where every golden-model CFD replica — and every analytic
+//! full-precision SoC replica, via its spectra-fed correlator — reuses
+//! them. The energy detector's statistic is time-domain power (it never
+//! ran an FFT), and a simulating (`Lockstep`/`Threaded`) or Q15 SoC
+//! replica computes its own on-tile spectra by design — those read the raw
+//! samples. The global [`cfd_core::backend::spectra_computations`] counter
+//! lets tests pin the once-per-trial contract.
 
 use crate::channel::mix_seed;
 use crate::error::ScenarioError;
 use crate::scenario::{Hypothesis, RadioScenario};
 use cfd_core::app::{CfdApplication, Platform};
+use cfd_core::backend::{BackendRecipe, Observation, SensingBackend, SessionRecipe};
 use cfd_core::sensing::SensingSession;
 use cfd_dsp::complex::Cplx;
 use cfd_dsp::detector::{
@@ -59,123 +53,66 @@ use cfd_dsp::detector::{
 use cfd_dsp::scf::{ScfEngine, ScfMatrix, ScfParams};
 use cfd_dsp::signal::awgn;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Monotone global count of block-spectra computations performed through
-/// the shared-spectra path ([`SharedSpectra::spectra_for`]).
-static SPECTRA_COMPUTATIONS: AtomicU64 = AtomicU64::new(0);
+use std::fmt;
 
 /// Total number of block-spectra computations performed by the
 /// shared-spectra path since process start, across all threads.
-///
-/// This exists so tests can pin the sweep engine's contract — spectra are
-/// computed **once per trial**, not once per detector replica — by
-/// measuring the delta around a sweep. It is monotone and global; measure
-/// deltas in isolation (other concurrent sweeps also increment it).
+#[deprecated(note = "moved to `cfd_core::backend::spectra_computations`")]
 pub fn shared_spectra_computations() -> u64 {
-    SPECTRA_COMPUTATIONS.load(Ordering::Relaxed)
+    cfd_core::backend::spectra_computations()
 }
 
-/// One per-`ScfParams` buffer set: the block spectra and the DSCF matrix,
-/// plus validity flags for the current observation. The allocations
-/// persist across observations; only the flags are reset.
-#[derive(Debug)]
-struct SharedEntry {
-    params: ScfParams,
-    spectra: Vec<Vec<Cplx>>,
-    spectra_valid: bool,
-    scf: ScfMatrix,
-    scf_valid: bool,
-}
-
-/// The reusable buffers behind [`SharedSpectra`], owned per sweep worker
-/// (or per serial sweep) and reused across every trial it processes.
-///
-/// A workspace keeps one [`ScfParams`]-keyed entry per distinct parameter
-/// set seen, each holding the block-spectra buffers and the DSCF matrix;
-/// [`SpectraWorkspace::observation`] invalidates the entries for a new
-/// observation without freeing them, so steady-state sweep trials perform
-/// no spectra/matrix allocations at all.
+/// The reusable buffers behind [`SharedSpectra`] — the pre-[`Observation`]
+/// shape of the per-worker spectra cache, kept as a thin wrapper.
+#[deprecated(note = "use `cfd_core::backend::Observation`, which owns the samples \
+                     and the spectra caches in one type")]
 #[derive(Debug, Default)]
 pub struct SpectraWorkspace {
-    entries: Vec<SharedEntry>,
+    observation: Observation,
 }
 
+#[allow(deprecated)]
 impl SpectraWorkspace {
     /// An empty workspace; buffers are created on first use.
     pub fn new() -> Self {
         SpectraWorkspace::default()
     }
 
-    /// Starts a new observation: all cached entries are marked stale (the
-    /// buffers are kept) and a [`SharedSpectra`] view over `samples` is
-    /// returned for the roster to decide through.
+    /// Starts a new observation: `samples` are copied into the wrapped
+    /// [`Observation`] (stale caches are invalidated, buffers kept) and a
+    /// [`SharedSpectra`] view is returned for the roster to decide
+    /// through.
     pub fn observation<'a>(&'a mut self, samples: &'a [Cplx]) -> SharedSpectra<'a> {
-        for entry in &mut self.entries {
-            entry.spectra_valid = false;
-            entry.scf_valid = false;
-        }
+        self.observation.load(samples);
         SharedSpectra {
             samples,
-            workspace: self,
+            observation: &mut self.observation,
         }
     }
 }
 
-/// One observation plus its lazily computed block spectra (eq. 2) — and,
-/// one level up, the integrated DSCF matrix (eq. 3) — shared by every
-/// detector replica that decides on it.
-///
-/// Both caches are keyed by [`ScfParams`]: a roster with several CFD
-/// detectors at the same parameters computes the spectra **and** the DSCF
-/// once (thresholds and guard zones only affect the final statistic, not
-/// the matrix), and detectors at different parameters each get their own
-/// entry. Computation goes through the detector's own [`ScfEngine`], so
-/// the shared results are bit-identical to what the detector's raw-sample
-/// path would compute internally — which is what makes
-/// [`SweepDetector::decide_from_spectra`] decision-identical to
-/// [`SweepDetector::decide`]. The backing buffers live in a
-/// [`SpectraWorkspace`] and are reused across observations.
+/// One observation plus its lazily computed block spectra and DSCF — the
+/// borrowing predecessor of [`Observation`], kept as a thin wrapper for
+/// the deprecated [`SweepDetector::decide_from_spectra`] path.
+#[deprecated(
+    note = "use `cfd_core::backend::Observation` (`SensingBackend::decide` \
+                     consumes it directly)"
+)]
 #[derive(Debug)]
 pub struct SharedSpectra<'a> {
+    /// The caller's slice, kept alongside the wrapped [`Observation`]'s
+    /// copy so [`SharedSpectra::samples`] can return the original `'a`
+    /// lifetime the pre-redesign API had (callers may hold the samples
+    /// across later `&mut self` calls).
     samples: &'a [Cplx],
-    workspace: &'a mut SpectraWorkspace,
+    observation: &'a mut Observation,
 }
 
+#[allow(deprecated)]
 impl<'a> SharedSpectra<'a> {
     /// The raw observation samples.
     pub fn samples(&self) -> &'a [Cplx] {
         self.samples
-    }
-
-    /// Index of the workspace entry for `engine`'s parameters with valid
-    /// spectra for this observation, computing (and counting) them on
-    /// first request.
-    fn entry_index(&mut self, engine: &ScfEngine) -> Result<usize, ScenarioError> {
-        let entries = &mut self.workspace.entries;
-        let index = match entries
-            .iter()
-            .position(|entry| &entry.params == engine.params())
-        {
-            Some(index) => index,
-            None => {
-                entries.push(SharedEntry {
-                    params: engine.params().clone(),
-                    spectra: Vec::new(),
-                    spectra_valid: false,
-                    scf: ScfMatrix::zeros(engine.params().max_offset),
-                    scf_valid: false,
-                });
-                entries.len() - 1
-            }
-        };
-        let entry = &mut entries[index];
-        if !entry.spectra_valid {
-            engine.compute_spectra_into(self.samples, &mut entry.spectra)?;
-            entry.spectra_valid = true;
-            SPECTRA_COMPUTATIONS.fetch_add(1, Ordering::Relaxed);
-        }
-        Ok(index)
     }
 
     /// The block spectra for `engine`'s parameters, computed at most once
@@ -185,47 +122,36 @@ impl<'a> SharedSpectra<'a> {
     ///
     /// Propagates spectra computation errors (e.g. too few samples).
     pub fn spectra_for(&mut self, engine: &ScfEngine) -> Result<&[Vec<Cplx>], ScenarioError> {
-        let index = self.entry_index(engine)?;
-        Ok(&self.workspace.entries[index].spectra)
+        Ok(self.observation.spectra_for(engine)?)
     }
 
-    /// The integrated DSCF matrix for `engine`'s parameters, computed (from
-    /// the shared spectra, into the workspace's reused matrix) at most once
-    /// per observation and shared by every replica at the same parameters.
+    /// The integrated DSCF matrix for `engine`'s parameters, computed at
+    /// most once per observation and shared by every replica at the same
+    /// parameters.
     ///
     /// # Errors
     ///
     /// Propagates spectra computation errors (e.g. too few samples).
     pub fn scf_for(&mut self, engine: &ScfEngine) -> Result<&ScfMatrix, ScenarioError> {
-        let index = self.entry_index(engine)?;
-        let entry = &mut self.workspace.entries[index];
-        if !entry.scf_valid {
-            engine.dscf_from_spectra_into(&entry.spectra, &mut entry.scf);
-            entry.scf_valid = true;
-        }
-        Ok(&entry.scf)
+        Ok(self.observation.scf_for(engine)?)
     }
 
     /// How many distinct spectra sets this observation has computed so far.
     pub fn computed(&self) -> usize {
-        self.workspace
-            .entries
-            .iter()
-            .filter(|entry| entry.spectra_valid)
-            .count()
+        self.observation.computed()
     }
 }
 
-/// A detector replica that can be driven by the sweep engine.
+/// A detector replica of the closed pre-[`SensingBackend`] sweep engine.
 ///
-/// The three variants cover the repository's detection paths end-to-end;
-/// the tiled-SoC variant streams every observation through the cycle-level
-/// platform simulation of `tiled-soc` inside one [`SensingSession`].
-/// Replicas are built from a [`SweepDetectorFactory`]; each worker thread
-/// owns its own set.
+/// The three variants cover the repository's built-in detection paths; the
+/// open surface they were replaced by accepts any [`SensingBackend`].
+#[deprecated(note = "build replicas from `BackendRecipe`s (any `SensingBackend` \
+                     participates in sweeps)")]
+#[allow(deprecated)]
 #[derive(Debug)]
 pub enum SweepDetector {
-    /// The energy-detector baseline of Cabric et al. [7].
+    /// The energy-detector baseline of Cabric et al. \[7\].
     Energy(EnergyDetector),
     /// The golden-model cyclostationary feature detector (boxed replica
     /// state: detector plus reusable DSCF scratch matrix).
@@ -239,6 +165,10 @@ pub enum SweepDetector {
 /// (which owns the precomputed [`ScfEngine`]) plus a DSCF scratch matrix,
 /// so a replica allocates one matrix for its whole lifetime instead of one
 /// per decision.
+#[deprecated(
+    note = "the `SensingBackend` impl of `CyclostationaryDetector` decides \
+                     from the `Observation`'s cached DSCF and needs no scratch"
+)]
 #[derive(Debug)]
 pub struct CfdReplica {
     /// The calibrated detector.
@@ -247,6 +177,7 @@ pub struct CfdReplica {
     pub scratch: ScfMatrix,
 }
 
+#[allow(deprecated)]
 impl SweepDetector {
     /// Stable label used in result tables.
     pub fn label(&self) -> &'static str {
@@ -275,12 +206,8 @@ impl SweepDetector {
 
     /// Runs one decision against an observation wrapped in a
     /// [`SharedSpectra`], reusing (or computing exactly once) the block
-    /// spectra shared across every CFD replica of the roster — including
-    /// the tiled-SoC replicas, whose analytic platforms feed the shared
-    /// spectra straight into their spectra-fed correlator
-    /// (`TiledSoc::run_from_spectra`): one FFT per trial for the whole
-    /// roster. Decisions are identical to [`SweepDetector::decide`] on the
-    /// raw samples.
+    /// spectra shared across every CFD replica of the roster. Decisions
+    /// are identical to [`SweepDetector::decide`] on the raw samples.
     ///
     /// # Errors
     ///
@@ -327,8 +254,8 @@ impl SweepDetector {
 
     /// How many times this replica's platform has been configured (`None`
     /// for the platform-less golden-model detectors). Stays at 1 for the
-    /// lifetime of a SoC replica — the sweep engine configures per session,
-    /// not per decision.
+    /// lifetime of a SoC replica — the sweep engine configures per
+    /// session, not per decision.
     pub fn configurations(&self) -> Option<u64> {
         match self {
             SweepDetector::TiledSoc(session) => Some(session.configurations()),
@@ -337,15 +264,17 @@ impl SweepDetector {
     }
 }
 
-/// A shareable recipe from which every worker thread builds its own
-/// [`SweepDetector`] replica.
+/// The closed recipe enum of the pre-[`BackendRecipe`] sweep engine.
 ///
-/// The golden-model variants hold a calibrated detector and replicate it
-/// through [`DetectorFactory`] (a clone is a full replica: those detectors
-/// carry only configuration). The SoC variant holds the application and
-/// platform description and opens a fresh [`SensingSession`] per replica —
-/// one platform configuration per worker, amortised over every decision
-/// that worker takes.
+/// It remains usable — it now implements [`BackendRecipe`], and the
+/// deprecated `evaluate_sweep*` shims route it through the open engine —
+/// but new code should pass calibrated detectors directly (every
+/// `Clone + Sync` [`SensingBackend`] is its own recipe) and
+/// [`SessionRecipe`](cfd_core::backend::SessionRecipe) for the platform path.
+#[deprecated(
+    note = "pass `SensingBackend`s (or `cfd_core::backend::SessionRecipe`) \
+                     to `SweepBuilder` instead of wrapping them in this enum"
+)]
 #[derive(Debug, Clone)]
 pub enum SweepDetectorFactory {
     /// Replicates a calibrated energy detector.
@@ -365,6 +294,7 @@ pub enum SweepDetectorFactory {
     },
 }
 
+#[allow(deprecated)]
 impl SweepDetectorFactory {
     /// Convenience constructor for the SoC variant.
     pub fn tiled_soc(
@@ -415,6 +345,40 @@ impl SweepDetectorFactory {
                 *threshold,
                 *guard_offsets,
             )?)),
+        })
+    }
+}
+
+/// The factory enum plugs into the open engine: each variant builds the
+/// same backend the enum used to drive directly, so sweeps over factories
+/// are decision-identical to sweeps over the equivalent recipes.
+#[allow(deprecated)]
+impl BackendRecipe for SweepDetectorFactory {
+    fn label(&self) -> String {
+        SweepDetectorFactory::label(self).to_string()
+    }
+
+    fn build(&self) -> Result<Box<dyn SensingBackend>, cfd_core::error::CfdError> {
+        Ok(match self {
+            SweepDetectorFactory::Energy(d) => Box::new(d.clone()),
+            SweepDetectorFactory::Cyclostationary(d) => Box::new(d.clone()),
+            SweepDetectorFactory::TiledSoc {
+                application,
+                platform,
+                threshold,
+                guard_offsets,
+            } => {
+                // One construction path for platform sessions: the open
+                // SessionRecipe builds the replica for both API
+                // generations.
+                return SessionRecipe::new(
+                    application.clone(),
+                    platform,
+                    *threshold,
+                    *guard_offsets,
+                )
+                .build();
+            }
         })
     }
 }
@@ -484,7 +448,8 @@ impl SnrSweep {
 pub struct RocRow {
     /// SNR of the H1 trials in dB.
     pub snr_db: f64,
-    /// Detector label ([`SweepDetector::label`]).
+    /// Backend label ([`BackendRecipe::label`], disambiguated with
+    /// `#index` when duplicated).
     pub detector: String,
     /// Estimated probability of detection.
     pub pd: f64,
@@ -504,7 +469,7 @@ impl RocRow {
     }
 }
 
-/// The Pd/Pfa table produced by [`evaluate_sweep`].
+/// The Pd/Pfa table produced by [`SweepBuilder::run`].
 #[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct RocTable {
     /// One row per `(SNR point, detector)`.
@@ -571,9 +536,13 @@ impl RocTable {
     }
 
     /// Renders the table as a JSON document
-    /// (`{"rows":[{"snr_db":…,"detector":…,"pd":…,"pfa":…,"trials":…},…]}`),
+    /// (`{"schema":1,"rows":[{"snr_db":…,"detector":…,"pd":…,"pfa":…,"trials":…},…]}`),
     /// for machine-readable sweep results (e.g. `BENCH_*.json` trajectory
-    /// tracking). The vendored `serde` is a marker-only stand-in, so the
+    /// tracking). The `schema` field versions the document so trajectory
+    /// tooling can detect format changes; detector labels — which are
+    /// arbitrary strings now that third-party backends name themselves —
+    /// are escaped per RFC 8259 (quotes, backslashes, control
+    /// characters). The vendored `serde` is a marker-only stand-in, so the
     /// encoding is done here; the derives keep the types drop-in ready for
     /// the real `serde_json` once the build environment gains network
     /// access.
@@ -613,8 +582,133 @@ impl RocTable {
                 )
             })
             .collect();
-        format!("{{\"rows\":[{}]}}", rows.join(","))
+        format!("{{\"schema\":1,\"rows\":[{}]}}", rows.join(","))
     }
+}
+
+/// Builds and runs an SNR sweep over any roster of [`SensingBackend`]s.
+///
+/// This replaces the positional-argument `evaluate_sweep*` free functions:
+/// the scenario, the sweep, the backend roster and the worker count are
+/// named, and the roster is *open* — any type implementing
+/// [`BackendRecipe`] joins the parallel engine, so a detector defined
+/// outside this workspace participates in ROC sweeps without touching any
+/// crate here. Calibrated `Clone + Sync` backends (e.g. [`EnergyDetector`],
+/// [`CyclostationaryDetector`]) are their own recipes and can be passed
+/// directly; the tiled-SoC path is described by a [`SessionRecipe`](cfd_core::backend::SessionRecipe).
+///
+/// # Examples
+///
+/// ```
+/// use cfd_dsp::detector::{CyclostationaryDetector, EnergyDetector};
+/// use cfd_dsp::scf::ScfParams;
+/// use cfd_scenario::prelude::*;
+///
+/// # fn main() -> Result<(), ScenarioError> {
+/// let params = ScfParams::new(32, 7, 16)?;
+/// let scenario =
+///     RadioScenario::preset("bpsk-awgn", params.samples_needed()).expect("built-in preset");
+/// let table = SweepBuilder::new(&scenario)
+///     .sweep(SnrSweep::new(vec![-5.0, 5.0], 4)?)
+///     .backend(EnergyDetector::new(1.0, 0.1, params.samples_needed())?)
+///     .backend(CyclostationaryDetector::new(params, 0.35, 1)?)
+///     .workers(2)
+///     .run()?;
+/// assert_eq!(table.detectors(), vec!["energy".to_string(), "cfd".into()]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SweepBuilder<'a> {
+    scenario: &'a RadioScenario,
+    sweep: Option<SnrSweep>,
+    recipes: Vec<Box<dyn BackendRecipe + 'a>>,
+    workers: Option<usize>,
+}
+
+impl fmt::Debug for SweepBuilder<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SweepBuilder")
+            .field("scenario", &self.scenario.name)
+            .field("sweep", &self.sweep)
+            .field(
+                "backends",
+                &self.recipes.iter().map(|r| r.label()).collect::<Vec<_>>(),
+            )
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl<'a> SweepBuilder<'a> {
+    /// Starts a sweep description over `scenario`.
+    pub fn new(scenario: &'a RadioScenario) -> Self {
+        SweepBuilder {
+            scenario,
+            sweep: None,
+            recipes: Vec::new(),
+            workers: None,
+        }
+    }
+
+    /// The SNR points and trial count to evaluate (required).
+    pub fn sweep(mut self, sweep: SnrSweep) -> Self {
+        self.sweep = Some(sweep);
+        self
+    }
+
+    /// Adds one backend to the roster (at least one is required). Every
+    /// worker thread builds its own replica from the recipe; row order in
+    /// the resulting [`RocTable`] follows insertion order.
+    pub fn backend(mut self, recipe: impl BackendRecipe + 'a) -> Self {
+        self.recipes.push(Box::new(recipe));
+        self
+    }
+
+    /// Explicit worker count. Defaults to the available parallelism; `1`
+    /// runs the in-thread serial reference. The table is bit-identical
+    /// for every worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Runs the sweep: every backend over every SNR point, `trials`
+    /// H1 observations per point (common random numbers across points)
+    /// plus one shared H0 pass (vacant observations do not depend on the
+    /// SNR target — [`RadioScenario::at_snr`] only rescales the
+    /// licensed-user signal — so each backend's false-alarm count is
+    /// measured once and shared by every SNR row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidParameter`] when no sweep or no
+    /// backends were given; propagates observation, replica-construction
+    /// and decision errors.
+    pub fn run(&self) -> Result<RocTable, ScenarioError> {
+        let sweep = self.sweep.as_ref().ok_or(ScenarioError::InvalidParameter {
+            name: "sweep",
+            message: "SweepBuilder needs an SnrSweep (SweepBuilder::sweep)".into(),
+        })?;
+        if self.recipes.is_empty() {
+            return Err(ScenarioError::InvalidParameter {
+                name: "backends",
+                message: "SweepBuilder needs at least one backend (SweepBuilder::backend)".into(),
+            });
+        }
+        let recipes: Vec<&dyn BackendRecipe> =
+            self.recipes.iter().map(|recipe| &**recipe).collect();
+        sweep_over_recipes(
+            self.scenario,
+            sweep,
+            &recipes,
+            self.workers.unwrap_or_else(default_workers),
+        )
+    }
+}
+
+/// The worker count used when none is requested explicitly.
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// One unit of sweep work: a chunk of consecutive trials under one
@@ -638,7 +732,7 @@ impl SweepCell {
 
 /// What a worker sends back per cell (or on failure).
 enum WorkerMessage {
-    /// Positives per detector over the cell's trials.
+    /// Positives per backend over the cell's trials.
     Counts {
         cell: SweepCell,
         positives: Vec<usize>,
@@ -650,52 +744,34 @@ enum WorkerMessage {
     },
 }
 
-/// Runs every detector over every SNR point of the sweep, in parallel over
-/// all available cores.
-///
-/// Per SNR point, `sweep.trials` H1 observations are generated via
-/// [`RadioScenario::observe`] (common random numbers across SNR points) and
-/// each detector decides on them. Vacant (H0) observations do not depend
-/// on the SNR target at all — [`RadioScenario::at_snr`] only rescales the
-/// licensed-user signal — so each detector's false-alarm count is measured
-/// once and shared by every SNR row, halving the sweep's detector work.
-///
-/// The result is **bit-identical** to [`evaluate_sweep_serial`] for any
-/// worker count: trials are seeded by index and merged by integer counting,
-/// so worker scheduling cannot change a single row.
-///
-/// # Errors
-///
-/// Propagates observation, detector-construction and detector errors.
-pub fn evaluate_sweep(
-    scenario: &RadioScenario,
-    sweep: &SnrSweep,
-    detectors: &[SweepDetectorFactory],
-) -> Result<RocTable, ScenarioError> {
-    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    evaluate_sweep_with_workers(scenario, sweep, detectors, workers)
+/// Builds one replica per recipe, in roster order.
+fn build_replicas(
+    recipes: &[&dyn BackendRecipe],
+) -> Result<Vec<Box<dyn SensingBackend>>, ScenarioError> {
+    recipes
+        .iter()
+        .map(|recipe| recipe.build().map_err(ScenarioError::from))
+        .collect()
 }
 
-/// [`evaluate_sweep`] with an explicit worker count (1 runs the serial
-/// path). The table is the same for every worker count.
-///
-/// # Errors
-///
-/// Propagates observation, detector-construction and detector errors.
-pub fn evaluate_sweep_with_workers(
+/// The sweep engine: every backend over every SNR point, either in-thread
+/// (`workers <= 1`, the serial reference) or over a work queue of
+/// `(snr_point, trial-chunk)` cells. Bit-identical for every worker count.
+fn sweep_over_recipes(
     scenario: &RadioScenario,
     sweep: &SnrSweep,
-    detectors: &[SweepDetectorFactory],
+    recipes: &[&dyn BackendRecipe],
     workers: usize,
 ) -> Result<RocTable, ScenarioError> {
     if workers <= 1 {
-        return evaluate_sweep_serial(scenario, sweep, detectors);
+        return sweep_serial_over_recipes(scenario, sweep, recipes);
     }
-    let labels = sweep_labels(detectors);
+    let labels = recipe_labels(recipes);
     let points = sweep.snr_points_db.len();
 
     // Chunk trials so each worker streams a meaningful batch through its
-    // session per queue pop, while keeping enough cells for load balancing.
+    // replicas per queue pop, while keeping enough cells for load
+    // balancing.
     let chunk = sweep.trials.div_ceil(workers * 4).max(1);
     let scenarios_at: Vec<RadioScenario> = sweep
         .snr_points_db
@@ -726,8 +802,8 @@ pub fn evaluate_sweep_with_workers(
     let total_cells = (points + 1) * sweep.trials.div_ceil(chunk);
     let workers = workers.min(total_cells);
 
-    let mut false_alarms = vec![0usize; detectors.len()];
-    let mut detections = vec![vec![0usize; detectors.len()]; points];
+    let mut false_alarms = vec![0usize; recipes.len()];
+    let mut detections = vec![vec![0usize; recipes.len()]; points];
     let mut failure: Option<((usize, usize, usize), ScenarioError)> = None;
     let failed = std::sync::atomic::AtomicBool::new(false);
     std::thread::scope(|scope| {
@@ -737,11 +813,7 @@ pub fn evaluate_sweep_with_workers(
             let scenarios_at = &scenarios_at;
             let failed = &failed;
             scope.spawn(move || {
-                let mut replicas = match detectors
-                    .iter()
-                    .map(SweepDetectorFactory::build)
-                    .collect::<Result<Vec<_>, _>>()
-                {
+                let mut replicas = match build_replicas(recipes) {
                     Ok(replicas) => replicas,
                     Err(error) => {
                         failed.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -752,7 +824,7 @@ pub fn evaluate_sweep_with_workers(
                         return;
                     }
                 };
-                let mut workspace = SpectraWorkspace::new();
+                let mut observation = Observation::new();
                 while let Ok(cell) = cell_rx.recv() {
                     // The sweep already failed: drain the queue without
                     // paying for cells whose counts would be discarded.
@@ -763,7 +835,7 @@ pub fn evaluate_sweep_with_workers(
                         scenario,
                         scenarios_at,
                         &mut replicas,
-                        &mut workspace,
+                        &mut observation,
                         cell,
                     ) {
                         Ok(positives) => WorkerMessage::Counts { cell, positives },
@@ -813,43 +885,34 @@ pub fn evaluate_sweep_with_workers(
     Ok(assemble_table(sweep, &labels, &false_alarms, &detections))
 }
 
-/// The single-threaded reference implementation of the sweep. Kept public
-/// so the equivalence property test (and anyone who wants a zero-thread
-/// run) can compare against it; produces the same table as
-/// [`evaluate_sweep`], bit for bit.
-///
-/// # Errors
-///
-/// Propagates observation, detector-construction and detector errors.
-pub fn evaluate_sweep_serial(
+/// The single-threaded reference implementation of the sweep: produces the
+/// same table as the parallel engine, bit for bit.
+fn sweep_serial_over_recipes(
     scenario: &RadioScenario,
     sweep: &SnrSweep,
-    detectors: &[SweepDetectorFactory],
+    recipes: &[&dyn BackendRecipe],
 ) -> Result<RocTable, ScenarioError> {
-    let labels = sweep_labels(detectors);
-    let mut replicas = detectors
-        .iter()
-        .map(SweepDetectorFactory::build)
-        .collect::<Result<Vec<_>, _>>()?;
-    let mut workspace = SpectraWorkspace::new();
-    let mut false_alarms = vec![0usize; detectors.len()];
+    let labels = recipe_labels(recipes);
+    let mut replicas = build_replicas(recipes)?;
+    let mut observation = Observation::new();
+    let mut false_alarms = vec![0usize; recipes.len()];
     for trial in 0..sweep.trials {
         let h0 = scenario.observe(Hypothesis::Vacant, trial)?;
-        let mut shared = workspace.observation(&h0.samples);
-        for (index, detector) in replicas.iter_mut().enumerate() {
-            if detector.decide_from_spectra(&mut shared)? {
+        observation.set_samples(h0.samples);
+        for (index, backend) in replicas.iter_mut().enumerate() {
+            if backend.decide(&mut observation)?.is_signal() {
                 false_alarms[index] += 1;
             }
         }
     }
-    let mut detections = vec![vec![0usize; detectors.len()]; sweep.snr_points_db.len()];
+    let mut detections = vec![vec![0usize; recipes.len()]; sweep.snr_points_db.len()];
     for (point, &snr_db) in sweep.snr_points_db.iter().enumerate() {
         let at_snr = scenario.at_snr(snr_db);
         for trial in 0..sweep.trials {
             let h1 = at_snr.observe(Hypothesis::Occupied, trial)?;
-            let mut shared = workspace.observation(&h1.samples);
-            for (index, detector) in replicas.iter_mut().enumerate() {
-                if detector.decide_from_spectra(&mut shared)? {
+            observation.set_samples(h1.samples);
+            for (index, backend) in replicas.iter_mut().enumerate() {
+                if backend.decide(&mut observation)?.is_signal() {
                     detections[point][index] += 1;
                 }
             }
@@ -859,17 +922,17 @@ pub fn evaluate_sweep_serial(
 }
 
 /// Evaluates one work cell on a worker's replicas: generates each of the
-/// cell's observations in turn, opens a [`SharedSpectra`] view over it in
-/// the worker's [`SpectraWorkspace`], and lets every detector decide — so
-/// the block spectra (and the DSCF) are computed once per observation, not
-/// once per replica, into buffers reused across the whole cell (and across
-/// cells: the workspace belongs to the worker). Returns the
-/// positive-decision count per detector.
+/// cell's observations in turn, loads it into the worker's reusable
+/// [`Observation`], and lets every backend decide — so the block spectra
+/// (and the DSCF) are computed once per observation, not once per replica,
+/// into buffers reused across the whole cell (and across cells: the
+/// observation belongs to the worker). Returns the positive-decision count
+/// per backend.
 fn evaluate_cell(
     scenario: &RadioScenario,
     scenarios_at: &[RadioScenario],
-    replicas: &mut [SweepDetector],
-    workspace: &mut SpectraWorkspace,
+    replicas: &mut [Box<dyn SensingBackend>],
+    observation: &mut Observation,
     cell: SweepCell,
 ) -> Result<Vec<usize>, ScenarioError> {
     let (source, hypothesis) = match cell.point {
@@ -878,10 +941,10 @@ fn evaluate_cell(
     };
     let mut positives = vec![0usize; replicas.len()];
     for trial in cell.first_trial..cell.first_trial + cell.trials {
-        let observation = source.observe(hypothesis, trial)?;
-        let mut shared = workspace.observation(&observation.samples);
-        for (index, detector) in replicas.iter_mut().enumerate() {
-            if detector.decide_from_spectra(&mut shared)? {
+        let trial_observation = source.observe(hypothesis, trial)?;
+        observation.set_samples(trial_observation.samples);
+        for (index, backend) in replicas.iter_mut().enumerate() {
+            if backend.decide(observation)?.is_signal() {
                 positives[index] += 1;
             }
         }
@@ -912,28 +975,80 @@ fn assemble_table(
     RocTable { rows }
 }
 
-/// Row labels for a detector list: the plain [`SweepDetectorFactory::label`]
-/// when unique, `label#index` when several detectors of the same kind run in
-/// one sweep — otherwise [`RocTable::row`] and [`RocTable::pd_series`] would
-/// silently merge their rows. A single counting pass replaces the old
-/// per-detector duplicate scan.
-fn sweep_labels(detectors: &[SweepDetectorFactory]) -> Vec<String> {
-    let mut counts: HashMap<&'static str, usize> = HashMap::new();
-    for detector in detectors {
-        *counts.entry(detector.label()).or_insert(0) += 1;
+/// Row labels for a backend roster: the plain [`BackendRecipe::label`]
+/// when unique, `label#index` when several backends of the same kind run
+/// in one sweep — otherwise [`RocTable::row`] and [`RocTable::pd_series`]
+/// would silently merge their rows.
+fn recipe_labels(recipes: &[&dyn BackendRecipe]) -> Vec<String> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for recipe in recipes {
+        *counts.entry(recipe.label()).or_insert(0) += 1;
     }
-    detectors
+    recipes
         .iter()
         .enumerate()
-        .map(|(index, detector)| {
-            let base = detector.label();
-            if counts[base] > 1 {
+        .map(|(index, recipe)| {
+            let base = recipe.label();
+            if counts[&base] > 1 {
                 format!("{base}#{index}")
             } else {
-                base.to_string()
+                base
             }
         })
         .collect()
+}
+
+/// Runs every detector over every SNR point of the sweep, in parallel over
+/// all available cores.
+///
+/// # Errors
+///
+/// Propagates observation, detector-construction and detector errors.
+#[deprecated(note = "use `SweepBuilder::new(scenario).sweep(…).backend(…).run()`")]
+#[allow(deprecated)]
+pub fn evaluate_sweep(
+    scenario: &RadioScenario,
+    sweep: &SnrSweep,
+    detectors: &[SweepDetectorFactory],
+) -> Result<RocTable, ScenarioError> {
+    let recipes: Vec<&dyn BackendRecipe> =
+        detectors.iter().map(|d| d as &dyn BackendRecipe).collect();
+    sweep_over_recipes(scenario, sweep, &recipes, default_workers())
+}
+
+/// [`evaluate_sweep`] with an explicit worker count (1 runs the serial
+/// path). The table is the same for every worker count.
+///
+/// # Errors
+///
+/// Propagates observation, detector-construction and detector errors.
+#[deprecated(note = "use `SweepBuilder` with `SweepBuilder::workers`")]
+#[allow(deprecated)]
+pub fn evaluate_sweep_with_workers(
+    scenario: &RadioScenario,
+    sweep: &SnrSweep,
+    detectors: &[SweepDetectorFactory],
+    workers: usize,
+) -> Result<RocTable, ScenarioError> {
+    let recipes: Vec<&dyn BackendRecipe> =
+        detectors.iter().map(|d| d as &dyn BackendRecipe).collect();
+    sweep_over_recipes(scenario, sweep, &recipes, workers)
+}
+
+/// The single-threaded reference sweep; produces the same table as
+/// [`evaluate_sweep`], bit for bit.
+///
+/// # Errors
+///
+/// Propagates observation, detector-construction and detector errors.
+#[deprecated(note = "use `SweepBuilder` with `SweepBuilder::workers(1)`")]
+#[allow(deprecated)]
+pub fn evaluate_sweep_serial(
+    scenario: &RadioScenario,
+    sweep: &SnrSweep,
+    detectors: &[SweepDetectorFactory],
+) -> Result<RocTable, ScenarioError> {
+    evaluate_sweep_with_workers(scenario, sweep, detectors, 1)
 }
 
 /// Calibrates a threshold for the cyclostationary feature statistic at a
@@ -1007,6 +1122,7 @@ pub fn calibrate_cfd_threshold(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cfd_core::backend::Decision;
 
     fn small_scenario() -> RadioScenario {
         RadioScenario::preset(
@@ -1017,14 +1133,12 @@ mod tests {
         .with_seed(5)
     }
 
-    fn cfd_factory(threshold: f64) -> SweepDetectorFactory {
-        SweepDetectorFactory::Cyclostationary(
-            CyclostationaryDetector::new(ScfParams::new(32, 7, 32).unwrap(), threshold, 1).unwrap(),
-        )
+    fn cfd(threshold: f64) -> CyclostationaryDetector {
+        CyclostationaryDetector::new(ScfParams::new(32, 7, 32).unwrap(), threshold, 1).unwrap()
     }
 
-    fn soc_factory(threshold: f64) -> SweepDetectorFactory {
-        SweepDetectorFactory::tiled_soc(
+    fn soc_recipe(threshold: f64) -> SessionRecipe {
+        SessionRecipe::new(
             CfdApplication::new(32, 7, 32).unwrap(),
             &Platform::paper(),
             threshold,
@@ -1043,14 +1157,30 @@ mod tests {
     }
 
     #[test]
+    fn sweep_builder_validates_its_inputs() {
+        let scenario = small_scenario();
+        let len = scenario.observation_len;
+        // No sweep.
+        assert!(SweepBuilder::new(&scenario)
+            .backend(EnergyDetector::new(1.0, 0.1, len).unwrap())
+            .run()
+            .is_err());
+        // No backends.
+        assert!(SweepBuilder::new(&scenario)
+            .sweep(SnrSweep::new(vec![0.0], 2).unwrap())
+            .run()
+            .is_err());
+    }
+
+    #[test]
     fn energy_detector_pd_rises_with_snr() {
         let scenario = small_scenario();
         let len = scenario.observation_len;
-        let sweep = SnrSweep::new(vec![-15.0, 0.0, 10.0], 20).unwrap();
-        let detectors = vec![SweepDetectorFactory::Energy(
-            EnergyDetector::new(1.0, 0.05, len).unwrap(),
-        )];
-        let table = evaluate_sweep(&scenario, &sweep, &detectors).unwrap();
+        let table = SweepBuilder::new(&scenario)
+            .sweep(SnrSweep::new(vec![-15.0, 0.0, 10.0], 20).unwrap())
+            .backend(EnergyDetector::new(1.0, 0.05, len).unwrap())
+            .run()
+            .unwrap();
         let series = table.pd_series("energy");
         assert_eq!(series.len(), 3);
         assert!(series[0].1 <= series[1].1 && series[1].1 <= series[2].1);
@@ -1064,24 +1194,76 @@ mod tests {
         let scenario = small_scenario();
         let len = scenario.observation_len;
         let sweep = SnrSweep::new(vec![-10.0, 0.0, 10.0], 9).unwrap();
-        let detectors = vec![
-            SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.1, len).unwrap()),
-            cfd_factory(0.35),
-        ];
-        let serial = evaluate_sweep_serial(&scenario, &sweep, &detectors).unwrap();
+        let build = |workers: usize| {
+            SweepBuilder::new(&scenario)
+                .sweep(sweep.clone())
+                .backend(EnergyDetector::new(1.0, 0.1, len).unwrap())
+                .backend(cfd(0.35))
+                .workers(workers)
+                .run()
+                .unwrap()
+        };
+        let serial = build(1);
         for workers in [2usize, 3, 7] {
-            let parallel =
-                evaluate_sweep_with_workers(&scenario, &sweep, &detectors, workers).unwrap();
-            assert_eq!(serial, parallel, "workers = {workers}");
+            assert_eq!(serial, build(workers), "workers = {workers}");
         }
     }
 
     #[test]
+    fn sweeps_over_legacy_factories_match_the_open_engine() {
+        // The deprecated evaluate_sweep* entry points route the factory
+        // enum through BackendRecipe; the tables must equal a SweepBuilder
+        // run over the equivalent open-API roster, bit for bit.
+        let scenario = small_scenario();
+        let len = scenario.observation_len;
+        let sweep = SnrSweep::new(vec![-5.0, 5.0], 6).unwrap();
+        #[allow(deprecated)]
+        let legacy = {
+            let factories = vec![
+                SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.1, len).unwrap()),
+                SweepDetectorFactory::Cyclostationary(cfd(0.35)),
+                SweepDetectorFactory::tiled_soc(
+                    CfdApplication::new(32, 7, 32).unwrap(),
+                    &Platform::paper(),
+                    0.35,
+                    1,
+                ),
+            ];
+            let parallel = evaluate_sweep(&scenario, &sweep, &factories).unwrap();
+            assert_eq!(
+                parallel,
+                evaluate_sweep_serial(&scenario, &sweep, &factories).unwrap()
+            );
+            assert_eq!(
+                parallel,
+                evaluate_sweep_with_workers(&scenario, &sweep, &factories, 3).unwrap()
+            );
+            parallel
+        };
+        let open = SweepBuilder::new(&scenario)
+            .sweep(sweep)
+            .backend(EnergyDetector::new(1.0, 0.1, len).unwrap())
+            .backend(cfd(0.35))
+            .backend(soc_recipe(0.35))
+            .workers(3)
+            .run()
+            .unwrap();
+        assert_eq!(legacy, open);
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn soc_replicas_configure_once_per_session() {
         // The sweep engine's SoC path must configure the platform once per
         // replica (session), no matter how many decisions stream through.
         let scenario = small_scenario();
-        let mut replica = soc_factory(0.35).build().unwrap();
+        let factory = SweepDetectorFactory::tiled_soc(
+            CfdApplication::new(32, 7, 32).unwrap(),
+            &Platform::paper(),
+            0.35,
+            1,
+        );
+        let mut replica = factory.build().unwrap();
         let observations: Vec<_> = (0..6)
             .map(|trial| {
                 scenario
@@ -1101,68 +1283,88 @@ mod tests {
         replica.decide_batch(&batch[3..]).unwrap();
         assert_eq!(replica.configurations(), Some(1));
         // Golden-model detectors have no platform to configure.
-        assert_eq!(cfd_factory(0.35).build().unwrap().configurations(), None);
+        let golden = SweepDetectorFactory::Cyclostationary(cfd(0.35))
+            .build()
+            .unwrap();
+        assert_eq!(golden.configurations(), None);
     }
 
     #[test]
-    fn shared_spectra_are_computed_once_per_params() {
+    fn observations_share_spectra_across_backends_per_params() {
         let scenario = small_scenario();
-        let observation = scenario.observe(Hypothesis::Occupied, 0).unwrap();
-        let mut workspace = SpectraWorkspace::new();
-        let mut shared = workspace.observation(&observation.samples);
-        assert_eq!(shared.computed(), 0);
-        assert_eq!(shared.samples().len(), observation.samples.len());
+        let trial_observation = scenario.observe(Hypothesis::Occupied, 0).unwrap();
+        let mut observation = Observation::new();
+        observation.load(&trial_observation.samples);
+        assert_eq!(observation.computed(), 0);
+        assert_eq!(observation.samples().len(), trial_observation.samples.len());
 
-        // Two CFD replicas with the same params but different thresholds
+        // Two CFD backends with the same params but different thresholds
         // share one spectra set; a third with different params adds one.
-        let mut same_a = cfd_factory(0.2).build().unwrap();
-        let mut same_b = cfd_factory(0.8).build().unwrap();
-        let mut other = SweepDetectorFactory::Cyclostationary(
-            CyclostationaryDetector::new(ScfParams::new(32, 7, 16).unwrap(), 0.35, 1).unwrap(),
-        )
-        .build()
-        .unwrap();
-        same_a.decide_from_spectra(&mut shared).unwrap();
-        assert_eq!(shared.computed(), 1);
-        same_b.decide_from_spectra(&mut shared).unwrap();
-        assert_eq!(shared.computed(), 1);
-        other.decide_from_spectra(&mut shared).unwrap();
-        assert_eq!(shared.computed(), 2);
+        let mut same_a = cfd(0.2);
+        let mut same_b = cfd(0.8);
+        let mut other =
+            CyclostationaryDetector::new(ScfParams::new(32, 7, 16).unwrap(), 0.35, 1).unwrap();
+        SensingBackend::decide(&mut same_a, &mut observation).unwrap();
+        assert_eq!(observation.computed(), 1);
+        SensingBackend::decide(&mut same_b, &mut observation).unwrap();
+        assert_eq!(observation.computed(), 1);
+        SensingBackend::decide(&mut other, &mut observation).unwrap();
+        assert_eq!(observation.computed(), 2);
         // Same-params requests return the cached spectra without a
         // recomputation.
-        let engine = match &same_a {
-            SweepDetector::Cyclostationary(replica) => replica.detector.engine().clone(),
-            _ => unreachable!("cfd factory builds a cfd replica"),
-        };
-        assert_eq!(shared.spectra_for(&engine).unwrap().len(), 32);
-        assert_eq!(shared.computed(), 2);
+        assert_eq!(observation.spectra_for(same_a.engine()).unwrap().len(), 32);
+        assert_eq!(observation.computed(), 2);
         // The energy detector reads the samples, not the spectra.
-        let mut energy = SweepDetectorFactory::Energy(
-            EnergyDetector::new(1.0, 0.05, observation.samples.len()).unwrap(),
-        )
-        .build()
-        .unwrap();
-        energy.decide_from_spectra(&mut shared).unwrap();
-        assert_eq!(shared.computed(), 2);
+        let mut energy = EnergyDetector::new(1.0, 0.05, trial_observation.samples.len()).unwrap();
+        SensingBackend::decide(&mut energy, &mut observation).unwrap();
+        assert_eq!(observation.computed(), 2);
 
-        // A new observation on the same workspace keeps the buffers but
-        // invalidates the cached results.
+        // A new observation keeps the buffers but invalidates the caches.
         let next = scenario.observe(Hypothesis::Vacant, 1).unwrap();
-        let mut shared = workspace.observation(&next.samples);
+        observation.set_samples(next.samples);
+        assert_eq!(observation.computed(), 0);
+        SensingBackend::decide(&mut same_a, &mut observation).unwrap();
+        assert_eq!(observation.computed(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shared_spectra_wrapper_forwards_to_the_observation() {
+        let scenario = small_scenario();
+        let trial_observation = scenario.observe(Hypothesis::Occupied, 0).unwrap();
+        let mut workspace = SpectraWorkspace::new();
+        let mut shared = workspace.observation(&trial_observation.samples);
         assert_eq!(shared.computed(), 0);
-        same_a.decide_from_spectra(&mut shared).unwrap();
+        assert_eq!(shared.samples().len(), trial_observation.samples.len());
+        let mut replica = SweepDetectorFactory::Cyclostationary(cfd(0.35))
+            .build()
+            .unwrap();
+        replica.decide_from_spectra(&mut shared).unwrap();
+        assert_eq!(shared.computed(), 1);
+        let engine = ScfEngine::new(ScfParams::new(32, 7, 32).unwrap()).unwrap();
+        assert_eq!(shared.spectra_for(&engine).unwrap().len(), 32);
+        assert_eq!(shared.scf_for(&engine).unwrap().grid_size(), 15);
         assert_eq!(shared.computed(), 1);
     }
 
     #[test]
-    fn decide_from_spectra_is_decision_identical_to_decide() {
+    #[allow(deprecated)]
+    fn backend_decisions_match_the_legacy_replica_paths() {
+        // The open SensingBackend path must decide exactly like the legacy
+        // SweepDetector it replaced, for every built-in detector kind and
+        // both raw-sample and shared-spectra evaluation.
         let scenario = small_scenario();
         let factories = [
             SweepDetectorFactory::Energy(
                 EnergyDetector::new(1.0, 0.05, scenario.observation_len).unwrap(),
             ),
-            cfd_factory(0.35),
-            soc_factory(0.35),
+            SweepDetectorFactory::Cyclostationary(cfd(0.35)),
+            SweepDetectorFactory::tiled_soc(
+                CfdApplication::new(32, 7, 32).unwrap(),
+                &Platform::paper(),
+                0.35,
+                1,
+            ),
         ];
         for trial in 0..3 {
             let hypothesis = if trial % 2 == 0 {
@@ -1170,20 +1372,46 @@ mod tests {
             } else {
                 Hypothesis::Vacant
             };
-            let observation = scenario.observe(hypothesis, trial).unwrap();
+            let trial_observation = scenario.observe(hypothesis, trial).unwrap();
             for factory in &factories {
-                let mut via_samples = factory.build().unwrap();
-                let mut via_spectra = factory.build().unwrap();
+                let mut legacy_raw = factory.build().unwrap();
+                let mut legacy_shared = factory.build().unwrap();
+                let mut backend = BackendRecipe::build(factory).unwrap();
                 let mut workspace = SpectraWorkspace::new();
-                let mut shared = workspace.observation(&observation.samples);
+                let mut shared = workspace.observation(&trial_observation.samples);
+                let mut observation = Observation::new();
+                observation.load(&trial_observation.samples);
+                let decision = backend.decide(&mut observation).unwrap();
                 assert_eq!(
-                    via_samples.decide(&observation.samples).unwrap(),
-                    via_spectra.decide_from_spectra(&mut shared).unwrap(),
-                    "{} diverged on trial {trial}",
+                    legacy_raw.decide(&trial_observation.samples).unwrap(),
+                    decision.is_signal(),
+                    "{} diverged from the raw-sample path on trial {trial}",
+                    factory.label()
+                );
+                assert_eq!(
+                    legacy_shared.decide_from_spectra(&mut shared).unwrap(),
+                    decision.is_signal(),
+                    "{} diverged from the shared-spectra path on trial {trial}",
                     factory.label()
                 );
             }
         }
+    }
+
+    #[test]
+    fn session_backend_reports_platform_metrics() {
+        let scenario = small_scenario();
+        let trial_observation = scenario.observe(Hypothesis::Occupied, 0).unwrap();
+        let mut observation = Observation::new();
+        observation.load(&trial_observation.samples);
+        let mut session = soc_recipe(0.35).build().unwrap();
+        let decision = session.decide(&mut observation).unwrap();
+        let metrics = decision.metrics.expect("platform path carries metrics");
+        assert!(metrics.time_per_block_us > 0.0);
+        // Software backends carry none.
+        let mut golden = cfd(0.35);
+        let decision = SensingBackend::decide(&mut golden, &mut observation).unwrap();
+        assert!(decision.metrics.is_none());
     }
 
     #[test]
@@ -1195,9 +1423,11 @@ mod tests {
             "threshold = {threshold}"
         );
         let scenario = small_scenario();
-        let sweep = SnrSweep::new(vec![10.0], 20).unwrap();
-        let detectors = vec![cfd_factory(threshold)];
-        let table = evaluate_sweep(&scenario, &sweep, &detectors).unwrap();
+        let table = SweepBuilder::new(&scenario)
+            .sweep(SnrSweep::new(vec![10.0], 20).unwrap())
+            .backend(cfd(threshold))
+            .run()
+            .unwrap();
         let row = table.row("cfd", 10.0).unwrap();
         assert!(row.pfa <= 0.3, "Pfa = {}", row.pfa);
         // The normalised feature statistic saturates with SNR, so a short
@@ -1217,15 +1447,15 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_detector_kinds_get_distinct_labels() {
+    fn duplicate_backend_kinds_get_distinct_labels() {
         let len = 512;
         let scenario = RadioScenario::preset("bpsk-awgn", len).unwrap();
-        let sweep = SnrSweep::new(vec![0.0], 3).unwrap();
-        let detectors = vec![
-            SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.05, len).unwrap()),
-            SweepDetectorFactory::Energy(EnergyDetector::with_threshold(1.0, 2.0).unwrap()),
-        ];
-        let table = evaluate_sweep(&scenario, &sweep, &detectors).unwrap();
+        let table = SweepBuilder::new(&scenario)
+            .sweep(SnrSweep::new(vec![0.0], 3).unwrap())
+            .backend(EnergyDetector::new(1.0, 0.05, len).unwrap())
+            .backend(EnergyDetector::with_threshold(1.0, 2.0).unwrap())
+            .run()
+            .unwrap();
         assert_eq!(
             table.detectors(),
             vec!["energy#0".to_string(), "energy#1".into()]
@@ -1267,11 +1497,11 @@ mod tests {
     }
 
     #[test]
-    fn roc_table_to_json_is_machine_readable() {
+    fn roc_table_to_json_is_machine_readable_and_versioned() {
         let table = RocTable {
             rows: vec![RocRow {
                 snr_db: -5.0,
-                detector: "cfd\"#1".into(),
+                detector: "cfd\"#1\n\\x".into(),
                 pd: 0.6,
                 pfa: 0.125,
                 trials: 8,
@@ -1280,35 +1510,110 @@ mod tests {
         let json = table.to_json();
         assert_eq!(
             json,
-            "{\"rows\":[{\"snr_db\":-5,\"detector\":\"cfd\\\"#1\",\
+            "{\"schema\":1,\"rows\":[{\"snr_db\":-5,\"detector\":\"cfd\\\"#1\\u000a\\\\x\",\
              \"pd\":0.6,\"pfa\":0.125,\"trials\":8}]}"
         );
-        assert_eq!(RocTable::default().to_json(), "{\"rows\":[]}");
+        assert_eq!(RocTable::default().to_json(), "{\"schema\":1,\"rows\":[]}");
     }
 
     #[test]
-    fn factory_labels_match_replica_labels() {
-        // `sweep_labels` reads the factory's label while tables could be
-        // cross-referenced against replicas: the two match arms must not
+    #[allow(deprecated)]
+    fn factory_labels_match_replica_and_recipe_labels() {
+        // `recipe_labels` reads the recipe's label while tables could be
+        // cross-referenced against replicas: the label sources must not
         // drift apart.
         let factories = [
             SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.05, 512).unwrap()),
-            cfd_factory(0.35),
-            soc_factory(0.35),
+            SweepDetectorFactory::Cyclostationary(cfd(0.35)),
+            SweepDetectorFactory::tiled_soc(
+                CfdApplication::new(32, 7, 32).unwrap(),
+                &Platform::paper(),
+                0.35,
+                1,
+            ),
         ];
         for factory in &factories {
             assert_eq!(factory.label(), factory.build().unwrap().label());
+            assert_eq!(factory.label(), BackendRecipe::label(factory));
+            assert_eq!(
+                BackendRecipe::label(factory),
+                BackendRecipe::build(factory).unwrap().label()
+            );
+        }
+        // The open-API equivalents use the same labels.
+        assert_eq!(
+            SensingBackend::label(&EnergyDetector::new(1.0, 0.05, 512).unwrap()),
+            "energy"
+        );
+        assert_eq!(SensingBackend::label(&cfd(0.35)), "cfd");
+        assert_eq!(BackendRecipe::label(&soc_recipe(0.35)), "cfd-soc");
+    }
+
+    #[test]
+    fn tiled_soc_backend_agrees_with_golden_model() {
+        let scenario = small_scenario();
+        let sweep = SnrSweep::new(vec![5.0], 5).unwrap();
+        let soc_table = SweepBuilder::new(&scenario)
+            .sweep(sweep.clone())
+            .backend(soc_recipe(0.35))
+            .run()
+            .unwrap();
+        let golden_table = SweepBuilder::new(&scenario)
+            .sweep(sweep)
+            .backend(cfd(0.35))
+            .run()
+            .unwrap();
+        // The platform computes the same DSCF, so decisions must agree.
+        assert_eq!(soc_table.rows[0].pd, golden_table.rows[0].pd);
+        assert_eq!(soc_table.rows[0].pfa, golden_table.rows[0].pfa);
+    }
+
+    /// A sweep-local custom backend: decides from the observation's cached
+    /// DSCF like the built-in CFD, but on the *mean* cyclic-profile value
+    /// outside the ridge instead of the maximum.
+    #[derive(Debug, Clone)]
+    struct MeanFeature {
+        engine: ScfEngine,
+        threshold: f64,
+    }
+
+    impl SensingBackend for MeanFeature {
+        fn label(&self) -> String {
+            "mean-feature".into()
+        }
+
+        fn decide(
+            &mut self,
+            observation: &mut Observation,
+        ) -> Result<Decision, cfd_core::error::CfdError> {
+            let scf = observation.scf_for(&self.engine)?;
+            let profile = scf.cyclic_profile();
+            let ridge = profile[scf.max_offset()].max(f64::MIN_POSITIVE);
+            let sum: f64 = profile.iter().sum::<f64>() - profile[scf.max_offset()];
+            let statistic = sum / (profile.len() - 1) as f64 / ridge;
+            Ok(Decision::new(statistic, self.threshold))
         }
     }
 
     #[test]
-    fn tiled_soc_detector_agrees_with_golden_model() {
+    fn custom_backends_participate_in_sweeps() {
         let scenario = small_scenario();
-        let sweep = SnrSweep::new(vec![5.0], 5).unwrap();
-        let soc_table = evaluate_sweep(&scenario, &sweep, &[soc_factory(0.35)]).unwrap();
-        let golden_table = evaluate_sweep(&scenario, &sweep, &[cfd_factory(0.35)]).unwrap();
-        // The platform computes the same DSCF, so decisions must agree.
-        assert_eq!(soc_table.rows[0].pd, golden_table.rows[0].pd);
-        assert_eq!(soc_table.rows[0].pfa, golden_table.rows[0].pfa);
+        let params = ScfParams::new(32, 7, 32).unwrap();
+        let custom = MeanFeature {
+            engine: ScfEngine::new(params).unwrap(),
+            threshold: 0.2,
+        };
+        let table = SweepBuilder::new(&scenario)
+            .sweep(SnrSweep::new(vec![0.0], 4).unwrap())
+            .backend(cfd(0.35))
+            .backend(custom)
+            .workers(2)
+            .run()
+            .unwrap();
+        assert_eq!(
+            table.detectors(),
+            vec!["cfd".to_string(), "mean-feature".into()]
+        );
+        assert!(table.row("mean-feature", 0.0).is_some());
     }
 }

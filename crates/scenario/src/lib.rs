@@ -14,13 +14,15 @@
 //! * [`scenario`] — named presets, the deterministic Monte-Carlo trial
 //!   runner, and SNR retargeting with common random numbers;
 //! * [`eval`] — the parallel batched sweep engine producing Pd/Pfa ROC
-//!   tables over the energy detector, the golden-model cyclostationary
-//!   detector, and the full tiled-SoC sensing path of `cfd-core`:
-//!   detectors are described by [`SweepDetectorFactory`] recipes, every
-//!   worker thread builds its own replicas (the SoC path opens one
-//!   `SensingSession` per worker), and `(snr_point, trial)` cells are
-//!   distributed over a crossbeam work queue — bit-identical to the serial
-//!   reference [`eval::evaluate_sweep_serial`] thanks to common random
+//!   tables over **any** roster of `cfd_core::backend::SensingBackend`s —
+//!   the energy detector, the golden-model cyclostationary detector, the
+//!   full tiled-SoC sensing path of `cfd-core`, or a detector defined
+//!   outside this workspace: sweeps are described and launched by
+//!   [`SweepBuilder`], backends are described by
+//!   `cfd_core::backend::BackendRecipe`s, every worker thread builds its
+//!   own replicas (the SoC path opens one `SensingSession` per worker),
+//!   and `(snr_point, trial)` cells are distributed over a crossbeam work
+//!   queue — bit-identical for every worker count thanks to common random
 //!   numbers.
 //!
 //! ## Example: a ROC table under noise-floor uncertainty
@@ -40,12 +42,11 @@
 //!     .with_noise_power(1.26);
 //!
 //! let threshold = calibrate_cfd_threshold(&params, 1, 0.1, 20, 7)?;
-//! let detectors = vec![
-//!     SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.1, params.samples_needed())?),
-//!     SweepDetectorFactory::Cyclostationary(CyclostationaryDetector::new(params, threshold, 1)?),
-//! ];
-//! let sweep = SnrSweep::new(vec![0.0, 5.0], 10)?;
-//! let table = evaluate_sweep(&scenario, &sweep, &detectors)?;
+//! let table = SweepBuilder::new(&scenario)
+//!     .sweep(SnrSweep::new(vec![0.0, 5.0], 10)?)
+//!     .backend(EnergyDetector::new(1.0, 0.1, params.samples_needed())?)
+//!     .backend(CyclostationaryDetector::new(params, threshold, 1)?)
+//!     .run()?;
 //! println!("{}", table.render());
 //!
 //! // The energy detector false-alarms under the 1 dB calibration error;
@@ -67,11 +68,13 @@ pub mod signal;
 
 pub use channel::{ChannelPipeline, ChannelStage};
 pub use error::ScenarioError;
+#[allow(deprecated)]
 pub use eval::{
     evaluate_sweep, evaluate_sweep_serial, evaluate_sweep_with_workers,
-    shared_spectra_computations, CfdReplica, RocRow, RocTable, SharedSpectra, SnrSweep,
-    SpectraWorkspace, SweepDetector, SweepDetectorFactory,
+    shared_spectra_computations, CfdReplica, SharedSpectra, SpectraWorkspace, SweepDetector,
+    SweepDetectorFactory,
 };
+pub use eval::{RocRow, RocTable, SnrSweep, SweepBuilder};
 pub use scenario::{Hypothesis, RadioScenario, ScenarioObservation};
 pub use signal::SignalModel;
 
@@ -79,11 +82,16 @@ pub use signal::SignalModel;
 pub mod prelude {
     pub use crate::channel::{ChannelPipeline, ChannelStage};
     pub use crate::error::ScenarioError;
+    pub use crate::eval::{calibrate_cfd_threshold, RocRow, RocTable, SnrSweep, SweepBuilder};
+    #[allow(deprecated)]
     pub use crate::eval::{
-        calibrate_cfd_threshold, evaluate_sweep, evaluate_sweep_serial,
-        evaluate_sweep_with_workers, shared_spectra_computations, RocRow, RocTable, SharedSpectra,
-        SnrSweep, SpectraWorkspace, SweepDetector, SweepDetectorFactory,
+        evaluate_sweep, evaluate_sweep_serial, evaluate_sweep_with_workers,
+        shared_spectra_computations, SharedSpectra, SpectraWorkspace, SweepDetector,
+        SweepDetectorFactory,
     };
     pub use crate::scenario::{Hypothesis, RadioScenario, ScenarioObservation};
     pub use crate::signal::SignalModel;
+    pub use cfd_core::backend::{
+        spectra_computations, BackendRecipe, Decision, Observation, SensingBackend, SessionRecipe,
+    };
 }

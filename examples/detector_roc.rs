@@ -36,21 +36,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_seed(SEED)
         .with_noise_power(NOISE_UNCERTAINTY);
 
-    // Calibrate both detectors for the nominal (unit) noise floor. Each
-    // worker thread of the sweep engine builds its own replicas from these
-    // factories.
+    // Calibrate both detectors for the nominal (unit) noise floor. The
+    // calibrated detectors are passed to the sweep directly: every
+    // `Clone + Sync` `SensingBackend` is its own `BackendRecipe`, and each
+    // worker thread of the sweep engine builds its own replica from it.
     let cfd_threshold = calibrate_cfd_threshold(&params, 1, TARGET_PFA, 200, SEED)?;
-    let detectors = vec![
-        SweepDetectorFactory::Energy(EnergyDetector::new(1.0, TARGET_PFA, samples_per_decision)?),
-        SweepDetectorFactory::Cyclostationary(CyclostationaryDetector::new(
+    let sweep = SnrSweep::linspace(-12.0, 8.0, 6, TRIALS)?;
+    let table = SweepBuilder::new(&scenario)
+        .sweep(sweep.clone())
+        .backend(EnergyDetector::new(1.0, TARGET_PFA, samples_per_decision)?)
+        .backend(CyclostationaryDetector::new(
             params.clone(),
             cfd_threshold,
             1,
-        )?),
-    ];
-
-    let sweep = SnrSweep::linspace(-12.0, 8.0, 6, TRIALS)?;
-    let table = evaluate_sweep(&scenario, &sweep, &detectors)?;
+        )?)
+        .run()?;
     if json_output {
         println!("{}", table.to_json());
         return Ok(());

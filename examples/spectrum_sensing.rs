@@ -45,18 +45,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The sweep engine builds one sensing session per worker thread from
-    // these factories: the SoC is configured once per session and every
-    // observation of that worker then streams through it.
-    let detectors = vec![
-        SweepDetectorFactory::tiled_soc(application.clone(), &platform, 0.35, 1),
-        SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.05, samples_per_decision)?),
-    ];
+    // the `SessionRecipe`: the SoC is configured once per session and
+    // every observation of that worker then streams through it. The
+    // energy baseline is a `Clone + Sync` backend and is its own recipe.
     for preset in RadioScenario::preset_names() {
         let scenario = RadioScenario::preset(preset, samples_per_decision)
             .expect("built-in preset")
             .with_seed(SEED)
             .with_noise_power(NOISE_UNCERTAINTY);
-        let table = evaluate_sweep(&scenario, &sweep, &detectors)?;
+        let table = SweepBuilder::new(&scenario)
+            .sweep(sweep.clone())
+            .backend(SessionRecipe::new(application.clone(), &platform, 0.35, 1))
+            .backend(EnergyDetector::new(1.0, 0.05, samples_per_decision)?)
+            .run()?;
         println!("== scenario: {preset}");
         print!("{}", table.render());
         println!();

@@ -1,0 +1,188 @@
+//! The single error type of the umbrella crate.
+//!
+//! Every member crate has its own error enum (`DspError`, `MappingError`,
+//! `MontiumError`, `SocError`, `CfdError`, `ScenarioError`), which keeps
+//! the substrates independent — but an application driving the unified
+//! [`SensingBackend`](cfd_core::backend::SensingBackend) surface mixes
+//! several of them in one call chain. [`Error`] is the one type such
+//! applications handle: every member error converts into it via `From`, so
+//! `?` works across crate boundaries.
+//!
+//! ```
+//! use cfd_tiled_soc::core::backend::{Decision, Observation, SensingBackend};
+//! use cfd_tiled_soc::dsp::detector::CyclostationaryDetector;
+//! use cfd_tiled_soc::dsp::scf::ScfParams;
+//! use cfd_tiled_soc::dsp::signal::awgn;
+//! use cfd_tiled_soc::Error;
+//!
+//! fn sense() -> Result<Decision, Error> {
+//!     // `?` converts DspError, CfdError, ... into the one umbrella Error.
+//!     let params = ScfParams::new(32, 7, 16)?;
+//!     let mut detector = CyclostationaryDetector::new(params.clone(), 0.35, 1)?;
+//!     let mut observation =
+//!         Observation::from_samples(awgn(params.samples_needed(), 1.0, 3));
+//!     Ok(detector.decide(&mut observation)?)
+//! }
+//!
+//! let decision = sense().unwrap();
+//! assert_eq!(decision.is_signal(), decision.statistic > decision.threshold);
+//! ```
+
+use cfd_core::error::CfdError;
+use cfd_dsp::error::DspError;
+use cfd_mapping::error::MappingError;
+use cfd_scenario::error::ScenarioError;
+use montium_sim::error::MontiumError;
+use std::fmt;
+use tiled_soc::error::SocError;
+
+/// The umbrella error: any member crate's error, one type to handle.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An error from the DSP substrate (`cfd-dsp`).
+    Dsp(DspError),
+    /// An error from the Step-1 mapping engine (`cfd-mapping`).
+    Mapping(MappingError),
+    /// An error from the Montium tile simulator (`montium-sim`).
+    Montium(MontiumError),
+    /// An error from the tiled-SoC substrate (`tiled-soc`).
+    Soc(SocError),
+    /// An error from the methodology / sensing layer (`cfd-core`) — the
+    /// error type of the [`SensingBackend`](cfd_core::backend::SensingBackend)
+    /// surface.
+    Cfd(CfdError),
+    /// An error from the radio-scenario engine (`cfd-scenario`).
+    Scenario(ScenarioError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Dsp(e) => write!(f, "dsp: {e}"),
+            Error::Mapping(e) => write!(f, "mapping: {e}"),
+            Error::Montium(e) => write!(f, "montium: {e}"),
+            Error::Soc(e) => write!(f, "soc: {e}"),
+            Error::Cfd(e) => write!(f, "cfd: {e}"),
+            Error::Scenario(e) => write!(f, "scenario: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Dsp(e) => Some(e),
+            Error::Mapping(e) => Some(e),
+            Error::Montium(e) => Some(e),
+            Error::Soc(e) => Some(e),
+            Error::Cfd(e) => Some(e),
+            Error::Scenario(e) => Some(e),
+        }
+    }
+}
+
+impl From<DspError> for Error {
+    fn from(e: DspError) -> Self {
+        Error::Dsp(e)
+    }
+}
+
+impl From<MappingError> for Error {
+    fn from(e: MappingError) -> Self {
+        Error::Mapping(e)
+    }
+}
+
+impl From<MontiumError> for Error {
+    fn from(e: MontiumError) -> Self {
+        Error::Montium(e)
+    }
+}
+
+impl From<SocError> for Error {
+    fn from(e: SocError) -> Self {
+        Error::Soc(e)
+    }
+}
+
+impl From<CfdError> for Error {
+    fn from(e: CfdError) -> Self {
+        Error::Cfd(e)
+    }
+}
+
+impl From<ScenarioError> for Error {
+    fn from(e: ScenarioError) -> Self {
+        Error::Scenario(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as StdError;
+
+    #[test]
+    fn every_member_error_converts_and_displays() {
+        let cases: Vec<(Error, &str)> = vec![
+            (DspError::NotPowerOfTwo { length: 7 }.into(), "dsp"),
+            (
+                MappingError::InvalidParameter {
+                    name: "cores",
+                    message: "zero".into(),
+                }
+                .into(),
+                "mapping",
+            ),
+            (MontiumError::NoSuchBank { bank: 12 }.into(), "montium"),
+            (
+                SocError::InvalidConfiguration {
+                    message: "bad".into(),
+                }
+                .into(),
+                "soc",
+            ),
+            (
+                CfdError::InvalidParameter {
+                    name: "blocks",
+                    message: "zero".into(),
+                }
+                .into(),
+                "cfd",
+            ),
+            (
+                ScenarioError::InvalidParameter {
+                    name: "trials",
+                    message: "zero".into(),
+                }
+                .into(),
+                "scenario",
+            ),
+        ];
+        for (error, prefix) in cases {
+            assert!(
+                error.to_string().starts_with(prefix),
+                "{error} should start with {prefix}"
+            );
+            assert!(error.source().is_some(), "{error} should carry a source");
+        }
+    }
+
+    #[test]
+    fn nested_errors_keep_their_chain() {
+        // A DspError wrapped by cfd-core then by the umbrella still
+        // surfaces the root cause through the source chain.
+        let root = DspError::NotPowerOfTwo { length: 12 };
+        let error: Error = CfdError::from(root.clone()).into();
+        let source = error.source().expect("cfd layer");
+        let inner = source.source().expect("dsp layer");
+        assert_eq!(inner.to_string(), root.to_string());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<Error>();
+    }
+}

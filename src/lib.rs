@@ -17,6 +17,11 @@
 //! * [`scenario`] (`cfd-scenario`) — the radio-scenario engine: signal
 //!   models, channel pipelines, SNR sweeps and the ROC evaluation harness.
 //!
+//! The umbrella additionally provides [`Error`], the single error type
+//! every member crate's error converts into — the one type to handle when
+//! driving the unified `cfd_core::backend::SensingBackend` surface across
+//! crates.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -34,9 +39,12 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
+
 pub use cfd_core as core;
 pub use cfd_dsp as dsp;
 pub use cfd_mapping as mapping;
 pub use cfd_scenario as scenario;
+pub use error::Error;
 pub use montium_sim as montium;
 pub use tiled_soc as soc;

@@ -2,8 +2,8 @@
 //! channel, seeded reproducibility of Monte-Carlo trials, monotonicity of
 //! the energy detector's detection probability in SNR, bit-exact
 //! equivalence of the parallel sweep engine with its serial reference, and
-//! decision-identity of the shared-spectra path with the raw-sample path
-//! for every detector kind.
+//! bit-exact decision-identity of the redesigned `SensingBackend` path
+//! with the legacy `decide*` paths for every detector kind.
 
 use cfd_core::app::{CfdApplication, Platform};
 use cfd_dsp::detector::{CyclostationaryDetector, EnergyDetector};
@@ -68,11 +68,11 @@ proptest! {
         let scenario = RadioScenario::preset("bpsk-awgn", len)
             .expect("built-in preset")
             .with_seed(seed);
-        let sweep = SnrSweep::linspace(-18.0, 6.0, 5, 30).unwrap();
-        let detectors = vec![SweepDetectorFactory::Energy(
-            EnergyDetector::new(1.0, 0.05, len).unwrap(),
-        )];
-        let table = evaluate_sweep(&scenario, &sweep, &detectors).unwrap();
+        let table = SweepBuilder::new(&scenario)
+            .sweep(SnrSweep::linspace(-18.0, 6.0, 5, 30).unwrap())
+            .backend(EnergyDetector::new(1.0, 0.05, len).unwrap())
+            .run()
+            .unwrap();
         let series = table.pd_series("energy");
         prop_assert_eq!(series.len(), 5);
         // Two trials of slack out of 30: each trial's negative cross term
@@ -104,22 +104,22 @@ proptest! {
         let params = ScfParams::new(32, 7, 8).unwrap();
         let len = params.samples_needed();
         let sweep = SnrSweep::new(vec![-5.0, 5.0], 6).unwrap();
-        let detectors = vec![
-            SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.1, len).unwrap()),
-            SweepDetectorFactory::Cyclostationary(
-                CyclostationaryDetector::new(params.clone(), 0.35, 1).unwrap(),
-            ),
-        ];
         for preset in RadioScenario::preset_names() {
             let scenario = RadioScenario::preset(preset, len)
                 .expect("built-in preset")
                 .with_seed(seed);
-            let serial = evaluate_sweep_serial(&scenario, &sweep, &detectors).unwrap();
-            let parallel =
-                evaluate_sweep_with_workers(&scenario, &sweep, &detectors, workers).unwrap();
+            let run = |workers: usize| {
+                SweepBuilder::new(&scenario)
+                    .sweep(sweep.clone())
+                    .backend(EnergyDetector::new(1.0, 0.1, len).unwrap())
+                    .backend(CyclostationaryDetector::new(params.clone(), 0.35, 1).unwrap())
+                    .workers(workers)
+                    .run()
+                    .unwrap()
+            };
             prop_assert_eq!(
-                &serial,
-                &parallel,
+                &run(1),
+                &run(workers),
                 "preset {} diverged with {} workers",
                 preset,
                 workers
@@ -131,13 +131,17 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
-    /// The shared-spectra path is decision-identical to the raw-sample
-    /// path for **every** detector kind (energy, golden-model CFD, tiled
-    /// SoC) in **every** preset, under both hypotheses: sharing the block
-    /// spectra changes where the FFT runs, never what is decided. (Kept at
-    /// 8 cases: each builds SoC replicas, i.e. whole simulated platforms.)
+    /// The redesigned `SensingBackend` path is decision-identical to the
+    /// legacy `SweepDetector::decide` (raw samples) and
+    /// `SweepDetector::decide_from_spectra` (shared spectra) paths, for
+    /// **every** detector kind (energy, golden-model CFD, tiled SoC) in
+    /// **every** preset, under both hypotheses: redesigning the surface
+    /// changed where the FFT runs and how results are reported, never what
+    /// is decided. (Kept at 8 cases: each builds SoC replicas, i.e. whole
+    /// simulated platforms.)
     #[test]
-    fn decide_from_spectra_is_decision_identical_for_every_preset(
+    #[allow(deprecated)]
+    fn backend_decisions_match_legacy_paths_for_every_preset(
         seed in 0u64..1000,
         trial in 0usize..20,
     ) {
@@ -160,20 +164,38 @@ proptest! {
                 .expect("built-in preset")
                 .with_seed(seed);
             for hypothesis in [Hypothesis::Occupied, Hypothesis::Vacant] {
-                let observation = scenario.observe(hypothesis, trial).unwrap();
+                let trial_observation = scenario.observe(hypothesis, trial).unwrap();
                 let mut workspace = SpectraWorkspace::new();
-                let mut shared = workspace.observation(&observation.samples);
+                let mut shared = workspace.observation(&trial_observation.samples);
+                let mut observation = Observation::new();
+                observation.load(&trial_observation.samples);
                 for factory in &factories {
-                    let mut via_samples = factory.build().unwrap();
-                    let mut via_spectra = factory.build().unwrap();
+                    let mut legacy_raw = factory.build().unwrap();
+                    let mut legacy_shared = factory.build().unwrap();
+                    let mut backend = BackendRecipe::build(factory).unwrap();
+                    let decision = backend.decide(&mut observation).unwrap();
                     prop_assert_eq!(
-                        via_samples.decide(&observation.samples).unwrap(),
-                        via_spectra.decide_from_spectra(&mut shared).unwrap(),
-                        "{} diverged on preset {} ({:?}, trial {})",
+                        legacy_raw.decide(&trial_observation.samples).unwrap(),
+                        decision.is_signal(),
+                        "{} diverged from decide() on preset {} ({:?}, trial {})",
                         factory.label(),
                         preset,
                         hypothesis,
                         trial
+                    );
+                    prop_assert_eq!(
+                        legacy_shared.decide_from_spectra(&mut shared).unwrap(),
+                        decision.is_signal(),
+                        "{} diverged from decide_from_spectra() on preset {} ({:?}, trial {})",
+                        factory.label(),
+                        preset,
+                        hypothesis,
+                        trial
+                    );
+                    // The structured decision is internally consistent.
+                    prop_assert_eq!(
+                        decision.is_signal(),
+                        decision.statistic > decision.threshold
                     );
                 }
             }

@@ -1,40 +1,91 @@
 //! Pins the sweep engine's shared-spectra contract: block spectra are
-//! computed **once per trial**, not once per detector replica, on both the
-//! serial and the parallel execution path.
+//! computed **once per trial**, not once per backend replica, on both the
+//! serial and the parallel execution path — and identically through the
+//! redesigned `SensingBackend` surface and the legacy `evaluate_sweep*`
+//! shims.
 //!
 //! This lives in its own integration-test binary on purpose — the
-//! [`shared_spectra_computations`] counter is process-global, so the delta
-//! measurement must not race other sweeps running in the same process.
+//! [`spectra_computations`] counter is process-global, so the delta
+//! measurements must not race other sweeps running in the same process.
+//! For the same reason everything here is **one** `#[test]`: libtest runs
+//! tests of a binary in parallel, and two tests measuring exact deltas of
+//! the same global counter would race each other.
 
 use cfd_core::app::{CfdApplication, Platform};
 use cfd_dsp::detector::{CyclostationaryDetector, EnergyDetector};
 use cfd_dsp::scf::ScfParams;
 use cfd_scenario::prelude::*;
 
+fn params() -> ScfParams {
+    ScfParams::new(32, 7, 16).unwrap()
+}
+
 #[test]
-fn evaluate_sweep_computes_block_spectra_once_per_trial() {
-    let params = ScfParams::new(32, 7, 16).unwrap();
-    let len = params.samples_needed();
+#[allow(deprecated)]
+fn spectra_are_computed_once_per_trial_on_both_api_generations() {
+    let len = params().samples_needed();
     let scenario = RadioScenario::preset("bpsk-awgn", len)
         .expect("built-in preset")
         .with_seed(11);
     let points = 2usize;
     let trials = 5usize;
     let sweep = SnrSweep::new(vec![-5.0, 5.0], trials).unwrap();
-    // Two CFD detectors at the same ScfParams, a tiled-SoC sensor at the
+    // One shared H0 pass plus one H1 pass per SNR point.
+    let observations = (points + 1) * trials;
+
+    // Two CFD detectors at the same ScfParams, a tiled-SoC session at the
     // equivalent application (its analytic platform consumes the shared
     // spectra through the spectra-fed correlator), plus the energy
     // baseline: one FFT per trial for the whole roster — before the
     // shared-spectra path every CFD replica re-ran windowing + FFT per
     // observation, and before the SoC fast path every SoC replica
     // additionally simulated an on-tile FFT per tile.
+    let builder_with = |workers: usize| {
+        SweepBuilder::new(&scenario)
+            .sweep(sweep.clone())
+            .backend(EnergyDetector::new(1.0, 0.1, len).unwrap())
+            .backend(CyclostationaryDetector::new(params(), 0.25, 1).unwrap())
+            .backend(CyclostationaryDetector::new(params(), 0.45, 1).unwrap())
+            .backend(SessionRecipe::new(
+                CfdApplication::new(32, 7, 16).unwrap(),
+                &Platform::paper(),
+                0.35,
+                1,
+            ))
+            .workers(workers)
+            .run()
+            .unwrap()
+    };
+
+    // --- The open SweepBuilder engine ----------------------------------
+    let before = spectra_computations();
+    let serial = builder_with(1);
+    let after_serial = spectra_computations();
+    assert_eq!(
+        (after_serial - before) as usize,
+        observations,
+        "serial sweep must compute spectra once per observation"
+    );
+
+    let parallel = builder_with(3);
+    let after_parallel = spectra_computations();
+    assert_eq!(
+        (after_parallel - after_serial) as usize,
+        observations,
+        "parallel sweep must compute spectra once per observation"
+    );
+    assert_eq!(serial, parallel);
+
+    // --- The deprecated evaluate_sweep* shims --------------------------
+    // They now route through the open engine; the counter contract (and
+    // the table) must be unchanged.
     let detectors = vec![
         SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.1, len).unwrap()),
         SweepDetectorFactory::Cyclostationary(
-            CyclostationaryDetector::new(params.clone(), 0.25, 1).unwrap(),
+            CyclostationaryDetector::new(params(), 0.25, 1).unwrap(),
         ),
         SweepDetectorFactory::Cyclostationary(
-            CyclostationaryDetector::new(params, 0.45, 1).unwrap(),
+            CyclostationaryDetector::new(params(), 0.45, 1).unwrap(),
         ),
         SweepDetectorFactory::tiled_soc(
             CfdApplication::new(32, 7, 16).unwrap(),
@@ -43,24 +94,28 @@ fn evaluate_sweep_computes_block_spectra_once_per_trial() {
             1,
         ),
     ];
-    // One shared H0 pass plus one H1 pass per SNR point.
-    let observations = ((points + 1) * trials) as u64;
 
-    let before = shared_spectra_computations();
-    let serial = evaluate_sweep_serial(&scenario, &sweep, &detectors).unwrap();
-    let after_serial = shared_spectra_computations();
+    let before_legacy = shared_spectra_computations();
+    let legacy_serial = evaluate_sweep_serial(&scenario, &sweep, &detectors).unwrap();
+    let after_legacy_serial = shared_spectra_computations();
     assert_eq!(
-        after_serial - before,
+        (after_legacy_serial - before_legacy) as usize,
         observations,
-        "serial sweep must compute spectra once per observation"
+        "legacy serial sweep must compute spectra once per observation"
     );
 
-    let parallel = evaluate_sweep_with_workers(&scenario, &sweep, &detectors, 3).unwrap();
-    let after_parallel = shared_spectra_computations();
+    let legacy_parallel = evaluate_sweep_with_workers(&scenario, &sweep, &detectors, 3).unwrap();
+    let after_legacy_parallel = shared_spectra_computations();
     assert_eq!(
-        after_parallel - after_serial,
+        (after_legacy_parallel - after_legacy_serial) as usize,
         observations,
-        "parallel sweep must compute spectra once per observation"
+        "legacy parallel sweep must compute spectra once per observation"
     );
-    assert_eq!(serial, parallel);
+    assert_eq!(legacy_serial, legacy_parallel);
+
+    // The deprecated counter shim reads the same counter as the new name,
+    // and the legacy tables equal the open-API tables over the equivalent
+    // roster (bit for bit — same engine underneath).
+    assert_eq!(shared_spectra_computations(), spectra_computations());
+    assert_eq!(legacy_serial, serial);
 }

@@ -87,7 +87,7 @@ proptest! {
     }
 }
 
-/// A `SpectrumSensor` roster swept under `Analytic` (shared-spectra fast
+/// A platform-session roster swept under `Analytic` (shared-spectra fast
 /// path) decides identically to the same roster under `Lockstep` (the
 /// cycle-accurate golden reference), row for row.
 #[test]
@@ -97,19 +97,24 @@ fn sweep_decisions_are_identical_across_analytic_and_lockstep() {
         .expect("built-in preset")
         .with_seed(7);
     let sweep = SnrSweep::new(vec![-5.0, 5.0], 6).unwrap();
-    let roster = |mode: ExecutionMode| {
-        vec![SweepDetectorFactory::tiled_soc(
-            application.clone(),
-            &Platform::paper().with_mode(mode),
-            0.35,
-            1,
-        )]
+    let run = |mode: ExecutionMode, workers: usize| {
+        SweepBuilder::new(&scenario)
+            .sweep(sweep.clone())
+            .backend(SessionRecipe::new(
+                application.clone(),
+                &Platform::paper().with_mode(mode),
+                0.35,
+                1,
+            ))
+            .workers(workers)
+            .run()
+            .unwrap()
     };
-    let fast = evaluate_sweep(&scenario, &sweep, &roster(ExecutionMode::Analytic)).unwrap();
-    let golden = evaluate_sweep(&scenario, &sweep, &roster(ExecutionMode::Lockstep)).unwrap();
+    let workers = 3;
+    let fast = run(ExecutionMode::Analytic, workers);
+    let golden = run(ExecutionMode::Lockstep, workers);
     assert_eq!(fast, golden);
     // The serial path agrees too (the sharing happens per worker).
-    let serial =
-        evaluate_sweep_serial(&scenario, &sweep, &roster(ExecutionMode::Analytic)).unwrap();
+    let serial = run(ExecutionMode::Analytic, 1);
     assert_eq!(serial, golden);
 }
