@@ -1,0 +1,100 @@
+//! The perf-regression gate CI runs over the uploaded JSON artefacts.
+//!
+//! Compares the previous run's `BENCH_sweeps.json` / `BENCH_metrics.json`
+//! against the current run's and exits non-zero when any lower-is-better
+//! timing metric regressed beyond the tolerance (see [`cfd_bench::gate`]
+//! for the exact semantics: schema changes skip, one-sided metrics are
+//! notes, histogram p50s are gated at log2-bucket granularity).
+//!
+//! ```text
+//! bench_gate --previous prev.json --current cur.json [--tolerance 3.0]
+//! ```
+//!
+//! A missing `--previous` file passes (the first gated run, or an expired
+//! artefact, has nothing to compare against); a missing `--current` file is
+//! an error — the current run must have produced its artefact.
+
+use cfd_bench::gate::{compare_documents, DEFAULT_TOLERANCE};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    previous: PathBuf,
+    current: PathBuf,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut previous = None;
+    let mut current = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--previous" => previous = Some(PathBuf::from(value("--previous")?)),
+            "--current" => current = Some(PathBuf::from(value("--current")?)),
+            "--tolerance" => {
+                tolerance = value("--tolerance")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--tolerance must be a number: {e}"))?;
+                if !tolerance.is_finite() || tolerance < 0.0 {
+                    return Err("--tolerance must be a non-negative finite number".into());
+                }
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        previous: previous.ok_or("--previous <path> is required")?,
+        current: current.ok_or("--current <path> is required")?,
+        tolerance,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("bench_gate: {message}");
+            eprintln!(
+                "usage: bench_gate --previous <prev.json> --current <cur.json> \
+                 [--tolerance {DEFAULT_TOLERANCE}]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if !args.previous.exists() {
+        println!(
+            "gate PASS: no previous artefact at {} (first gated run); \
+             nothing to compare against",
+            args.previous.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let read = |path: &PathBuf| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+    };
+    let result = read(&args.previous).and_then(|previous| {
+        let current = read(&args.current)?;
+        compare_documents(&previous, &current, args.tolerance)
+            .map_err(|e| format!("invalid JSON artefact: {e}"))
+    });
+    match result {
+        Ok(report) => {
+            println!("{report}");
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("bench_gate: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The perf-regression gate behind the `bench_gate` binary.
+//!
+//! CI uploads two artefacts per run: `BENCH_sweeps.json` (the
+//! `RocTable::to_json` document with the spliced-in `soc_sweep` timing) and
+//! `BENCH_metrics.json` (the `cfd_telemetry::MetricsSnapshot::to_json`
+//! document with the per-stage latency histograms). The gate downloads the
+//! previous run's artefact, extracts every **lower-is-better** timing
+//! metric both documents share, and fails when any of them regressed
+//! beyond a tolerance:
+//!
+//! * from a sweeps document: `soc_sweep.analytic_seconds` and
+//!   `soc_sweep.lockstep_seconds`;
+//! * from a metrics document: the `p50` of every histogram whose name ends
+//!   in `_ns` (the duration-histogram naming convention).
+//!
+//! A metric **regresses** iff `current > previous × (1 + tolerance)`.
+//! Histogram percentiles are quantised to log2 buckets, so a one-bucket
+//! step (2×) is measurement grain, not a regression; the default tolerance
+//! ([`DEFAULT_TOLERANCE`] = 3.0) therefore fails only beyond 4× — two
+//! buckets — which still catches the order-of-magnitude regressions the
+//! gate exists for while staying quiet on shared-runner noise.
+//!
+//! The gate **skips** (passes with a note) instead of failing when the two
+//! documents carry different `schema` versions, and treats metrics present
+//! on only one side as notes: a renamed or newly added instrument must not
+//! block the PR that introduces it. A missing previous artefact is handled
+//! by the binary (first gated run passes).
+
+use cfd_telemetry::json::{self, JsonValue};
+use std::fmt;
+
+/// Default regression tolerance: fail when a metric exceeds the previous
+/// value by more than `1 + 3.0 = 4×` (two log2 histogram buckets).
+pub const DEFAULT_TOLERANCE: f64 = 3.0;
+
+/// One gated metric: its value in the previous and current document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateCheck {
+    /// Dotted metric path, e.g. `soc_sweep.analytic_seconds` or
+    /// `histograms.dsp.fft.forward_ns.p50`.
+    pub metric: String,
+    /// The previous run's value.
+    pub previous: f64,
+    /// The current run's value.
+    pub current: f64,
+}
+
+impl GateCheck {
+    /// `current / previous` (`inf` when the previous value was zero and the
+    /// current is not).
+    pub fn ratio(&self) -> f64 {
+        if self.previous == 0.0 {
+            if self.current == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.current / self.previous
+        }
+    }
+
+    /// Whether this metric regressed beyond `tolerance`
+    /// (`current > previous × (1 + tolerance)`).
+    pub fn regressed(&self, tolerance: f64) -> bool {
+        self.current > self.previous * (1.0 + tolerance)
+    }
+}
+
+/// The gate's result over one previous/current document pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// The tolerance the report was evaluated under.
+    pub tolerance: f64,
+    /// Every metric found in both documents.
+    pub checks: Vec<GateCheck>,
+    /// Non-fatal observations (schema skip, one-sided metrics).
+    pub notes: Vec<String>,
+    /// When set, the comparison was skipped entirely (schema mismatch) and
+    /// the gate passes with this explanation.
+    pub skipped: Option<String>,
+}
+
+impl GateReport {
+    /// The checks that regressed beyond the tolerance.
+    pub fn regressions(&self) -> Vec<&GateCheck> {
+        if self.skipped.is_some() {
+            return Vec::new();
+        }
+        self.checks
+            .iter()
+            .filter(|check| check.regressed(self.tolerance))
+            .collect()
+    }
+
+    /// Whether the gate passes (no regression, or skipped).
+    pub fn passed(&self) -> bool {
+        self.regressions().is_empty()
+    }
+}
+
+impl fmt::Display for GateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(reason) = &self.skipped {
+            writeln!(f, "gate skipped: {reason}")?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        for check in &self.checks {
+            let verdict = if check.regressed(self.tolerance) {
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            writeln!(
+                f,
+                "{:<45} {:>14.6} -> {:>14.6}  ({:.2}x)  {verdict}",
+                check.metric,
+                check.previous,
+                check.current,
+                check.ratio()
+            )?;
+        }
+        let regressions = self.regressions();
+        if regressions.is_empty() {
+            write!(
+                f,
+                "gate PASS: {} metric(s) within {:.0}% tolerance",
+                self.checks.len(),
+                self.tolerance * 100.0
+            )
+        } else {
+            write!(
+                f,
+                "gate FAIL: {} of {} metric(s) regressed beyond {:.0}% tolerance",
+                regressions.len(),
+                self.checks.len(),
+                self.tolerance * 100.0
+            )
+        }
+    }
+}
+
+/// Extracts every lower-is-better timing metric from a parsed document as
+/// `(dotted path, value)` pairs, in document order.
+///
+/// Works on both artefact shapes: sweeps documents contribute their
+/// `soc_sweep` seconds, metrics documents the `p50` of every `_ns`
+/// histogram. Unknown fields are ignored, so the gate keeps working across
+/// additive schema evolution.
+pub fn timing_metrics(document: &JsonValue) -> Vec<(String, f64)> {
+    let mut metrics = Vec::new();
+    for field in ["analytic_seconds", "lockstep_seconds"] {
+        if let Some(value) = document
+            .pointer(&["soc_sweep", field])
+            .and_then(JsonValue::as_f64)
+        {
+            metrics.push((format!("soc_sweep.{field}"), value));
+        }
+    }
+    if let Some(histograms) = document.get("histograms").and_then(JsonValue::as_object) {
+        for (name, histogram) in histograms {
+            if !name.ends_with("_ns") {
+                continue;
+            }
+            if let Some(p50) = histogram.get("p50").and_then(JsonValue::as_f64) {
+                metrics.push((format!("histograms.{name}.p50"), p50));
+            }
+        }
+    }
+    metrics
+}
+
+/// Compares two artefact documents (previous vs current run) and builds the
+/// gate report.
+///
+/// # Errors
+///
+/// Returns the parse error if either document is not valid JSON.
+pub fn compare_documents(
+    previous: &str,
+    current: &str,
+    tolerance: f64,
+) -> Result<GateReport, json::JsonError> {
+    let previous = json::parse(previous)?;
+    let current = json::parse(current)?;
+    let mut report = GateReport {
+        tolerance,
+        checks: Vec::new(),
+        notes: Vec::new(),
+        skipped: None,
+    };
+    let previous_schema = previous.get("schema").and_then(JsonValue::as_f64);
+    let current_schema = current.get("schema").and_then(JsonValue::as_f64);
+    if previous_schema != current_schema {
+        report.skipped = Some(format!(
+            "schema changed ({previous_schema:?} -> {current_schema:?}); \
+             nothing comparable, gate passes"
+        ));
+        return Ok(report);
+    }
+    let previous_metrics = timing_metrics(&previous);
+    let current_metrics = timing_metrics(&current);
+    for (metric, current_value) in &current_metrics {
+        match previous_metrics.iter().find(|(name, _)| name == metric) {
+            Some((_, previous_value)) => report.checks.push(GateCheck {
+                metric: metric.clone(),
+                previous: *previous_value,
+                current: *current_value,
+            }),
+            None => report
+                .notes
+                .push(format!("`{metric}` is new (no previous value); not gated")),
+        }
+    }
+    for (metric, _) in &previous_metrics {
+        if !current_metrics.iter().any(|(name, _)| name == metric) {
+            report
+                .notes
+                .push(format!("`{metric}` disappeared from the current run"));
+        }
+    }
+    if report.checks.is_empty() {
+        report
+            .notes
+            .push("no timing metric present in both documents".into());
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweeps_doc(analytic: f64, lockstep: f64) -> String {
+        format!(
+            "{{\"schema\":2,\"rows\":[],\"soc_sweep\":{{\"analytic_seconds\":{analytic},\
+             \"lockstep_seconds\":{lockstep},\"speedup\":1}}}}"
+        )
+    }
+
+    fn metrics_doc(p50: u64) -> String {
+        format!(
+            "{{\"schema\":1,\"counters\":{{}},\"gauges\":{{}},\"histograms\":{{\
+             \"dsp.fft.forward_ns\":{{\"count\":4,\"sum\":100,\"p50\":{p50},\"p90\":{p50},\
+             \"p99\":{p50},\"buckets\":[[5,4]]}},\
+             \"not_a_duration\":{{\"count\":1,\"sum\":1,\"p50\":1,\"p90\":1,\"p99\":1,\
+             \"buckets\":[[0,1]]}}}}}}"
+        )
+    }
+
+    #[test]
+    fn passes_within_tolerance_and_fails_beyond_it() {
+        // 2x is one log2 bucket: within the default 300% tolerance.
+        let report = compare_documents(
+            &sweeps_doc(1.0, 10.0),
+            &sweeps_doc(2.0, 10.0),
+            DEFAULT_TOLERANCE,
+        )
+        .unwrap();
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 2);
+        // 5x exceeds 1 + 3.0 = 4x: regression.
+        let report = compare_documents(
+            &sweeps_doc(1.0, 10.0),
+            &sweeps_doc(5.0, 10.0),
+            DEFAULT_TOLERANCE,
+        )
+        .unwrap();
+        assert!(!report.passed());
+        let regressions = report.regressions();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].metric, "soc_sweep.analytic_seconds");
+        assert!(report.to_string().contains("REGRESSED"));
+        // Improvements never fail, however large.
+        let report = compare_documents(&sweeps_doc(5.0, 10.0), &sweeps_doc(0.1, 0.1), 0.0).unwrap();
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn gates_metrics_snapshot_p50s_of_ns_histograms_only() {
+        let report =
+            compare_documents(&metrics_doc(1000), &metrics_doc(1000), DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(report.checks.len(), 1);
+        assert_eq!(report.checks[0].metric, "histograms.dsp.fft.forward_ns.p50");
+        assert!(report.passed());
+        let report =
+            compare_documents(&metrics_doc(1000), &metrics_doc(8000), DEFAULT_TOLERANCE).unwrap();
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn schema_mismatch_skips_instead_of_failing() {
+        let old = "{\"schema\":1,\"rows\":[],\"soc_sweep\":{\"analytic_seconds\":1.0,\
+                   \"lockstep_seconds\":1.0,\"speedup\":1}}";
+        let report = compare_documents(old, &sweeps_doc(100.0, 100.0), DEFAULT_TOLERANCE).unwrap();
+        assert!(report.skipped.is_some());
+        assert!(report.passed());
+        assert!(report.checks.is_empty());
+        assert!(report.to_string().contains("gate skipped"));
+    }
+
+    #[test]
+    fn one_sided_metrics_are_notes_not_failures() {
+        let no_sweep = "{\"schema\":2,\"rows\":[]}";
+        let report =
+            compare_documents(no_sweep, &sweeps_doc(100.0, 100.0), DEFAULT_TOLERANCE).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 0);
+        assert!(report.notes.iter().any(|note| note.contains("is new")));
+        let report = compare_documents(&sweeps_doc(1.0, 1.0), no_sweep, DEFAULT_TOLERANCE).unwrap();
+        assert!(report.passed());
+        assert!(report.notes.iter().any(|note| note.contains("disappeared")));
+    }
+
+    #[test]
+    fn ratio_handles_zero_previous_values() {
+        let check = GateCheck {
+            metric: "m".into(),
+            previous: 0.0,
+            current: 0.0,
+        };
+        assert_eq!(check.ratio(), 1.0);
+        assert!(!check.regressed(DEFAULT_TOLERANCE));
+        let check = GateCheck {
+            metric: "m".into(),
+            previous: 0.0,
+            current: 1.0,
+        };
+        assert_eq!(check.ratio(), f64::INFINITY);
+        assert!(check.regressed(DEFAULT_TOLERANCE));
+    }
+
+    #[test]
+    fn malformed_documents_error_instead_of_passing() {
+        assert!(compare_documents("{", "{}", DEFAULT_TOLERANCE).is_err());
+        assert!(compare_documents("{}", "[1,", DEFAULT_TOLERANCE).is_err());
+    }
+}

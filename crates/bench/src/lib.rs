@@ -19,8 +19,11 @@
 //! | `section5_evaluation` | Section 5 latency/bandwidth/area/power + scaling |
 //! | `functional_check` | cross-check of every implementation layer |
 //! | `detector_comparison` | CFD vs energy detector (the motivation of \[7\]) |
+//! | `bench_gate` | perf-regression gate over the uploaded JSON artefacts |
 
 #![warn(missing_docs)]
+
+pub mod gate;
 
 use cfd_dsp::complex::Cplx;
 use cfd_dsp::scf::ScfParams;

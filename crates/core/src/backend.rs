@@ -70,12 +70,31 @@ use cfd_dsp::detector::{
 };
 use cfd_dsp::scf::{ScfEngine, ScfMatrix, ScfParams};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use tiled_soc::power::PlatformMetrics;
 
-/// Monotone global count of block-spectra computations performed through
-/// [`Observation::spectra_for`] / [`Observation::scf_for`].
-static SPECTRA_COMPUTATIONS: AtomicU64 = AtomicU64::new(0);
+/// Cached handles to the [`Observation`] cache instruments, registered in
+/// the global [`cfd_telemetry::registry`]. The counters are always live
+/// (relaxed atomics), which is what lets the once-per-trial spectra
+/// contract be pinned by counter deltas without enabling telemetry.
+struct ObservationInstruments {
+    spectra_computations: cfd_telemetry::Counter,
+    spectra_cache_hits: cfd_telemetry::Counter,
+    spectra_cache_misses: cfd_telemetry::Counter,
+    scf_cache_hits: cfd_telemetry::Counter,
+    scf_cache_misses: cfd_telemetry::Counter,
+}
+
+fn instruments() -> &'static ObservationInstruments {
+    static INSTRUMENTS: OnceLock<ObservationInstruments> = OnceLock::new();
+    INSTRUMENTS.get_or_init(|| ObservationInstruments {
+        spectra_computations: cfd_telemetry::counter("core.observation.spectra_computations"),
+        spectra_cache_hits: cfd_telemetry::counter("core.observation.spectra_cache_hits"),
+        spectra_cache_misses: cfd_telemetry::counter("core.observation.spectra_cache_misses"),
+        scf_cache_hits: cfd_telemetry::counter("core.observation.scf_cache_hits"),
+        scf_cache_misses: cfd_telemetry::counter("core.observation.scf_cache_misses"),
+    })
+}
 
 /// Total number of block-spectra computations performed by [`Observation`]
 /// caches since process start, across all threads.
@@ -84,8 +103,13 @@ static SPECTRA_COMPUTATIONS: AtomicU64 = AtomicU64::new(0);
 /// computed **once per trial**, not once per backend replica — by measuring
 /// the delta around a sweep. It is monotone and global; measure deltas in
 /// isolation (other concurrent sweeps also increment it).
+#[deprecated(
+    since = "0.1.0",
+    note = "read the `core.observation.spectra_computations` counter from \
+            `cfd_telemetry::registry()` instead"
+)]
 pub fn spectra_computations() -> u64 {
-    SPECTRA_COMPUTATIONS.load(Ordering::Relaxed)
+    instruments().spectra_computations.value()
 }
 
 /// One per-[`ScfParams`] cache slot: the block spectra and the DSCF matrix,
@@ -212,10 +236,14 @@ impl Observation {
             }
         };
         let entry = &mut self.entries[index];
-        if !entry.spectra_valid {
+        let instruments = instruments();
+        if entry.spectra_valid {
+            instruments.spectra_cache_hits.increment();
+        } else {
+            instruments.spectra_cache_misses.increment();
             engine.compute_spectra_into(&self.samples, &mut entry.spectra)?;
             entry.spectra_valid = true;
-            SPECTRA_COMPUTATIONS.fetch_add(1, Ordering::Relaxed);
+            instruments.spectra_computations.increment();
         }
         Ok(index)
     }
@@ -242,7 +270,10 @@ impl Observation {
     pub fn scf_for(&mut self, engine: &ScfEngine) -> Result<&ScfMatrix, CfdError> {
         let index = self.entry_index(engine)?;
         let entry = &mut self.entries[index];
-        if !entry.scf_valid {
+        if entry.scf_valid {
+            instruments().scf_cache_hits.increment();
+        } else {
+            instruments().scf_cache_misses.increment();
             engine.dscf_from_spectra_into(&entry.spectra, &mut entry.scf);
             entry.scf_valid = true;
         }
@@ -395,7 +426,11 @@ impl SensingBackend for EnergyDetector {
 
     /// The energy statistic is time-domain power: the decision reads the
     /// raw samples and never touches the spectra caches.
+    ///
+    /// The decision is timed into the `core.decide.energy_ns` histogram
+    /// while telemetry is enabled.
     fn decide(&mut self, observation: &mut Observation) -> Result<Decision, CfdError> {
+        let _span = cfd_telemetry::span("core.decide.energy_ns");
         Ok(Decision::from_outcome(self.detect(observation.samples())?))
     }
 }
@@ -410,7 +445,11 @@ impl SensingBackend for CyclostationaryDetector {
     /// other backend at the same parameters. Decisions are bit-identical
     /// to [`Detector::detect`] on the raw samples: the engine's spectra
     /// path is the one `detect` uses internally.
+    ///
+    /// The decision is timed into the `core.decide.cfd_ns` histogram while
+    /// telemetry is enabled.
     fn decide(&mut self, observation: &mut Observation) -> Result<Decision, CfdError> {
+        let _span = cfd_telemetry::span("core.decide.cfd_ns");
         let scf = observation.scf_for(self.engine())?;
         Ok(Decision::from_outcome(self.detect_from_scf(scf)))
     }

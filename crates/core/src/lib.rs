@@ -54,9 +54,9 @@ pub use sensing::{SensingReport, SpectrumSensor};
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::app::{CfdApplication, Platform};
-    pub use crate::backend::{
-        spectra_computations, BackendRecipe, Decision, Observation, SensingBackend, SessionRecipe,
-    };
+    #[allow(deprecated)]
+    pub use crate::backend::spectra_computations;
+    pub use crate::backend::{BackendRecipe, Decision, Observation, SensingBackend, SessionRecipe};
     pub use crate::error::CfdError;
     pub use crate::methodology::{MappingReport, Step1Report, Step2Report, TwoStepMapping};
     pub use crate::report::{EvaluationReport, EvaluationRow, Table1Report, Table1Row};

@@ -198,6 +198,7 @@ impl SensingBackend for SpectrumSensor {
     /// Either way the decision is identical to [`SpectrumSensor::decide`]
     /// on the raw samples.
     fn decide(&mut self, observation: &mut Observation) -> Result<Decision, CfdError> {
+        let _span = cfd_telemetry::span("core.decide.cfd_soc_ns");
         let outcome = if self.shares_software_spectra() {
             let spectra = observation.spectra_for(self.engine())?;
             self.decide_from_spectra(spectra)?
@@ -438,6 +439,7 @@ impl SensingBackend for SensingSession {
     /// returned decision carries the session's accumulated
     /// [`PlatformMetrics`].
     fn decide(&mut self, observation: &mut Observation) -> Result<Decision, CfdError> {
+        let _span = cfd_telemetry::span("core.decide.cfd_soc_ns");
         let outcome = if self.shares_software_spectra() {
             let spectra = observation.spectra_for(self.sensor.engine())?;
             self.decide_from_spectra(spectra)?

@@ -27,6 +27,17 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::f64::consts::PI;
 use std::rc::Rc;
+use std::sync::OnceLock;
+
+/// Cached handle to the `dsp.fft.forward_ns` stage histogram. The plan
+/// itself stays handle-free (it is `Clone + serde`-derived); a process-wide
+/// `OnceLock` keeps the per-call cost to one pointer load once telemetry
+/// has been enabled, and [`cfd_telemetry::span`]-style gating keeps it to
+/// one atomic load while it is not.
+fn forward_ns() -> &'static cfd_telemetry::Histogram {
+    static FORWARD_NS: OnceLock<cfd_telemetry::Histogram> = OnceLock::new();
+    FORWARD_NS.get_or_init(|| cfd_telemetry::histogram("dsp.fft.forward_ns"))
+}
 
 /// Returns `true` if `n` is a power of two (and non-zero).
 #[inline]
@@ -212,6 +223,7 @@ impl FftPlan {
     /// the plan length.
     pub fn forward_in_place(&self, data: &mut [Cplx]) -> Result<(), DspError> {
         self.check_len(data)?;
+        let _span = forward_ns().start_timer();
         self.transform(data, &self.forward);
         Ok(())
     }

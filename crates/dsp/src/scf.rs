@@ -22,6 +22,20 @@ use crate::error::DspError;
 use crate::fft::{block_spectrum, block_spectrum_into, FftPlan};
 use crate::window::Window;
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Cached handles to the DSCF stage histograms ([`ScfEngine`] is
+/// `Clone + serde`-derived, so the handles live at module scope rather
+/// than as fields).
+fn spectra_ns() -> &'static cfd_telemetry::Histogram {
+    static SPECTRA_NS: OnceLock<cfd_telemetry::Histogram> = OnceLock::new();
+    SPECTRA_NS.get_or_init(|| cfd_telemetry::histogram("dsp.scf.spectra_ns"))
+}
+
+fn accumulate_ns() -> &'static cfd_telemetry::Histogram {
+    static ACCUMULATE_NS: OnceLock<cfd_telemetry::Histogram> = OnceLock::new();
+    ACCUMULATE_NS.get_or_init(|| cfd_telemetry::histogram("dsp.scf.accumulate_ns"))
+}
 
 /// Parameters of a DSCF evaluation.
 ///
@@ -567,6 +581,7 @@ impl ScfEngine {
                 available: signal.len(),
             });
         }
+        let _span = spectra_ns().start_timer();
         out.truncate(self.params.num_blocks);
         while out.len() < self.params.num_blocks {
             out.push(Vec::with_capacity(self.params.fft_len));
@@ -594,6 +609,7 @@ impl ScfEngine {
     /// Panics if any block is shorter than `params.fft_len` (same contract
     /// as [`dscf_from_spectra`]).
     pub fn dscf_from_spectra_into(&self, spectra: &[Vec<Cplx>], out: &mut ScfMatrix) {
+        let _span = accumulate_ns().start_timer();
         let m = self.params.max_offset;
         let p = self.params.grid_size();
         let half = m + 1;

@@ -28,6 +28,13 @@ use crate::sequencer::{KernelRun, Phase, Sequencer};
 use cfd_dsp::complex::Cplx;
 use cfd_dsp::fft::{cached_plan, is_power_of_two};
 
+/// Cached handle to the `montium.fft_runs` counter: one increment per
+/// on-tile block FFT, the cost driver the paper's 1040-cycle budget prices.
+fn montium_fft_runs() -> &'static cfd_telemetry::Counter {
+    static RUNS: std::sync::OnceLock<cfd_telemetry::Counter> = std::sync::OnceLock::new();
+    RUNS.get_or_init(|| cfd_telemetry::counter("montium.fft_runs"))
+}
+
 /// Configuration of the CFD kernel on one tile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct CfdState {
@@ -238,6 +245,7 @@ impl MontiumCore {
             })?;
         self.alu
             .record_butterflies((n / 2 * n.trailing_zeros() as usize) as u64);
+        montium_fft_runs().increment();
         if self.config.quantize_q15 {
             // The 16-bit datapath: results are scaled by 1/N to stay in
             // range and quantised, matching a block-floating FFT that

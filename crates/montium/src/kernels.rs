@@ -183,13 +183,23 @@ pub fn analytic_step_cycles(
     task_set: &TileTaskSet,
 ) -> IntegrationStepCycles {
     let f = task_set.num_frequencies() as u64;
-    IntegrationStepCycles {
+    let cycles = IntegrationStepCycles {
         multiply_accumulate: f * task_set.active_tasks as u64 * config.mac_cycles,
         read_data: f * config.data_read_cycles,
         fft: config.fft_cycles(task_set.fft_len),
         reshuffling: task_set.fft_len as u64,
         initialisation: f,
-    }
+    };
+    analytic_cycles_gauge().set(cycles.total() as f64);
+    cycles
+}
+
+/// Cached handle to the `montium.analytic_step_cycles` gauge (the
+/// closed-form model can sit on per-block paths, so the registry lookup is
+/// paid once).
+fn analytic_cycles_gauge() -> &'static cfd_telemetry::Gauge {
+    static GAUGE: std::sync::OnceLock<cfd_telemetry::Gauge> = std::sync::OnceLock::new();
+    GAUGE.get_or_init(|| cfd_telemetry::gauge("montium.analytic_step_cycles"))
 }
 
 /// The result of one integration step on one tile.

@@ -5,7 +5,7 @@
 //! The harness runs any roster of [`BackendRecipe`]s — the built-in
 //! [`EnergyDetector`] baseline, the golden-model
 //! [`CyclostationaryDetector`], the full tiled-SoC sensing path (a
-//! [`SessionRecipe`](cfd_core::backend::SessionRecipe) opening a `SensingSession` per worker), or any
+//! [`SessionRecipe`] opening a `SensingSession` per worker), or any
 //! user-defined backend — over a [`RadioScenario`] at each SNR of a sweep,
 //! and tabulates the detection probability `Pd` (decide "occupied" under
 //! H1) and false-alarm probability `Pfa` (decide "occupied" under H0) per
@@ -37,8 +37,8 @@
 //! them. The energy detector's statistic is time-domain power (it never
 //! ran an FFT), and a simulating (`Lockstep`/`Threaded`) or Q15 SoC
 //! replica computes its own on-tile spectra by design — those read the raw
-//! samples. The global [`cfd_core::backend::spectra_computations`] counter
-//! lets tests pin the once-per-trial contract.
+//! samples. The global `core.observation.spectra_computations` counter in
+//! [`cfd_telemetry::registry`] lets tests pin the once-per-trial contract.
 
 use crate::channel::mix_seed;
 use crate::error::ScenarioError;
@@ -54,12 +54,40 @@ use cfd_dsp::scf::{ScfEngine, ScfMatrix, ScfParams};
 use cfd_dsp::signal::awgn;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Total number of block-spectra computations performed by the
 /// shared-spectra path since process start, across all threads.
-#[deprecated(note = "moved to `cfd_core::backend::spectra_computations`")]
+#[deprecated(
+    note = "read the `core.observation.spectra_computations` counter from \
+            `cfd_telemetry::registry()` instead"
+)]
 pub fn shared_spectra_computations() -> u64 {
-    cfd_core::backend::spectra_computations()
+    cfd_telemetry::counter("core.observation.spectra_computations").value()
+}
+
+/// Cached handles to the sweep-engine instruments: whole-run and per-cell
+/// stage histograms, queue-wait time (how long a worker sat blocked on the
+/// cell queue), and throughput counters.
+struct SweepInstruments {
+    run_ns: cfd_telemetry::Histogram,
+    queue_wait_ns: cfd_telemetry::Histogram,
+    cell_ns: cfd_telemetry::Histogram,
+    cells: cfd_telemetry::Counter,
+    trials: cfd_telemetry::Counter,
+    workers: cfd_telemetry::Gauge,
+}
+
+fn sweep_instruments() -> &'static SweepInstruments {
+    static INSTRUMENTS: OnceLock<SweepInstruments> = OnceLock::new();
+    INSTRUMENTS.get_or_init(|| SweepInstruments {
+        run_ns: cfd_telemetry::histogram("scenario.sweep.run_ns"),
+        queue_wait_ns: cfd_telemetry::histogram("scenario.sweep.queue_wait_ns"),
+        cell_ns: cfd_telemetry::histogram("scenario.sweep.cell_ns"),
+        cells: cfd_telemetry::counter("scenario.sweep.cells"),
+        trials: cfd_telemetry::counter("scenario.sweep.trials"),
+        workers: cfd_telemetry::gauge("scenario.sweep.workers"),
+    })
 }
 
 /// The reusable buffers behind [`SharedSpectra`] — the pre-[`Observation`]
@@ -270,7 +298,7 @@ impl SweepDetector {
 /// deprecated `evaluate_sweep*` shims route it through the open engine —
 /// but new code should pass calibrated detectors directly (every
 /// `Clone + Sync` [`SensingBackend`] is its own recipe) and
-/// [`SessionRecipe`](cfd_core::backend::SessionRecipe) for the platform path.
+/// [`SessionRecipe`] for the platform path.
 #[deprecated(
     note = "pass `SensingBackend`s (or `cfd_core::backend::SessionRecipe`) \
                      to `SweepBuilder` instead of wrapping them in this enum"
@@ -536,38 +564,20 @@ impl RocTable {
     }
 
     /// Renders the table as a JSON document
-    /// (`{"schema":1,"rows":[{"snr_db":…,"detector":…,"pd":…,"pfa":…,"trials":…},…]}`),
+    /// (`{"schema":2,"rows":[{"snr_db":…,"detector":…,"pd":…,"pfa":…,"trials":…},…]}`),
     /// for machine-readable sweep results (e.g. `BENCH_*.json` trajectory
     /// tracking). The `schema` field versions the document so trajectory
-    /// tooling can detect format changes; detector labels — which are
-    /// arbitrary strings now that third-party backends name themselves —
-    /// are escaped per RFC 8259 (quotes, backslashes, control
-    /// characters). The vendored `serde` is a marker-only stand-in, so the
-    /// encoding is done here; the derives keep the types drop-in ready for
-    /// the real `serde_json` once the build environment gains network
-    /// access.
+    /// tooling can detect format changes — schema 2 marks the gated era
+    /// (documents CI's `bench_gate` compares against the previous run's
+    /// artifact); detector labels — which are arbitrary strings now that
+    /// third-party backends name themselves — are escaped per RFC 8259
+    /// (quotes, backslashes, control characters) via
+    /// [`cfd_telemetry::json`]. The vendored `serde` is a marker-only
+    /// stand-in, so the encoding is done here; the derives keep the types
+    /// drop-in ready for the real `serde_json` once the build environment
+    /// gains network access.
     pub fn to_json(&self) -> String {
-        fn number(value: f64) -> String {
-            if value.is_finite() {
-                // `Display` for finite f64 is shortest-roundtrip decimal,
-                // which is valid JSON.
-                format!("{value}")
-            } else {
-                "null".into()
-            }
-        }
-        fn escape(text: &str) -> String {
-            let mut out = String::with_capacity(text.len());
-            for c in text.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                    c => out.push(c),
-                }
-            }
-            out
-        }
+        use cfd_telemetry::json::{escape, number};
         let rows: Vec<String> = self
             .rows
             .iter()
@@ -582,9 +592,18 @@ impl RocTable {
                 )
             })
             .collect();
-        format!("{{\"schema\":1,\"rows\":[{}]}}", rows.join(","))
+        format!(
+            "{{\"schema\":{ROC_JSON_SCHEMA},\"rows\":[{}]}}",
+            rows.join(",")
+        )
     }
 }
+
+/// Schema version of [`RocTable::to_json`] documents. Version 2 marks the
+/// gated era: `BENCH_sweeps.json` artifacts are compared against the
+/// previous CI run by `bench_gate`, and the gate skips (passes with a note)
+/// when the schema of the previous document differs.
+pub const ROC_JSON_SCHEMA: u64 = 2;
 
 /// Builds and runs an SNR sweep over any roster of [`SensingBackend`]s.
 ///
@@ -595,7 +614,7 @@ impl RocTable {
 /// outside this workspace participates in ROC sweeps without touching any
 /// crate here. Calibrated `Clone + Sync` backends (e.g. [`EnergyDetector`],
 /// [`CyclostationaryDetector`]) are their own recipes and can be passed
-/// directly; the tiled-SoC path is described by a [`SessionRecipe`](cfd_core::backend::SessionRecipe).
+/// directly; the tiled-SoC path is described by a [`SessionRecipe`].
 ///
 /// # Examples
 ///
@@ -801,6 +820,9 @@ fn sweep_over_recipes(
     // process.
     let total_cells = (points + 1) * sweep.trials.div_ceil(chunk);
     let workers = workers.min(total_cells);
+    let instruments = sweep_instruments();
+    instruments.workers.set(workers as f64);
+    let _run_span = instruments.run_ns.start_timer();
 
     let mut false_alarms = vec![0usize; recipes.len()];
     let mut detections = vec![vec![0usize; recipes.len()]; points];
@@ -825,12 +847,16 @@ fn sweep_over_recipes(
                     }
                 };
                 let mut observation = Observation::new();
-                while let Ok(cell) = cell_rx.recv() {
+                loop {
+                    let queue_wait = instruments.queue_wait_ns.start_timer();
+                    let Ok(cell) = cell_rx.recv() else { break };
+                    drop(queue_wait);
                     // The sweep already failed: drain the queue without
                     // paying for cells whose counts would be discarded.
                     if failed.load(std::sync::atomic::Ordering::Relaxed) {
                         continue;
                     }
+                    let cell_span = instruments.cell_ns.start_timer();
                     let message = match evaluate_cell(
                         scenario,
                         scenarios_at,
@@ -847,6 +873,9 @@ fn sweep_over_recipes(
                             }
                         }
                     };
+                    drop(cell_span);
+                    instruments.cells.increment();
+                    instruments.trials.add(cell.trials as u64);
                     if out_tx.send(message).is_err() {
                         return;
                     }
@@ -893,6 +922,9 @@ fn sweep_serial_over_recipes(
     recipes: &[&dyn BackendRecipe],
 ) -> Result<RocTable, ScenarioError> {
     let labels = recipe_labels(recipes);
+    let instruments = sweep_instruments();
+    instruments.workers.set(1.0);
+    let _run_span = instruments.run_ns.start_timer();
     let mut replicas = build_replicas(recipes)?;
     let mut observation = Observation::new();
     let mut false_alarms = vec![0usize; recipes.len()];
@@ -918,6 +950,12 @@ fn sweep_serial_over_recipes(
             }
         }
     }
+    // One logical trial per (hypothesis point, trial index), matching what
+    // the parallel path counts per cell: worker count must not change the
+    // throughput counters.
+    instruments
+        .trials
+        .add((sweep.trials * (sweep.snr_points_db.len() + 1)) as u64);
     Ok(assemble_table(sweep, &labels, &false_alarms, &detections))
 }
 
@@ -1510,10 +1548,10 @@ mod tests {
         let json = table.to_json();
         assert_eq!(
             json,
-            "{\"schema\":1,\"rows\":[{\"snr_db\":-5,\"detector\":\"cfd\\\"#1\\u000a\\\\x\",\
+            "{\"schema\":2,\"rows\":[{\"snr_db\":-5,\"detector\":\"cfd\\\"#1\\u000a\\\\x\",\
              \"pd\":0.6,\"pfa\":0.125,\"trials\":8}]}"
         );
-        assert_eq!(RocTable::default().to_json(), "{\"schema\":1,\"rows\":[]}");
+        assert_eq!(RocTable::default().to_json(), "{\"schema\":2,\"rows\":[]}");
     }
 
     #[test]

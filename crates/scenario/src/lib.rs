@@ -91,7 +91,9 @@ pub mod prelude {
     };
     pub use crate::scenario::{Hypothesis, RadioScenario, ScenarioObservation};
     pub use crate::signal::SignalModel;
+    #[allow(deprecated)]
+    pub use cfd_core::backend::spectra_computations;
     pub use cfd_core::backend::{
-        spectra_computations, BackendRecipe, Decision, Observation, SensingBackend, SessionRecipe,
+        BackendRecipe, Decision, Observation, SensingBackend, SessionRecipe,
     };
 }

@@ -36,6 +36,36 @@ use cfd_dsp::error::DspError;
 use cfd_dsp::fft::cached_plan;
 use cfd_dsp::scf::{centred_bin, ScfMatrix};
 use cfd_mapping::folding::Folding;
+use std::sync::OnceLock;
+
+/// Cached handles to the SoC run instruments: stage histograms for the
+/// simulated/analytic run and the spectra-fed correlator, per-mode run
+/// counters, and last-run cycle/energy gauges (the analytic-vs-lockstep
+/// comparison the paper's Table 1 is about).
+struct SocInstruments {
+    run_ns: cfd_telemetry::Histogram,
+    correlate_ns: cfd_telemetry::Histogram,
+    runs_lockstep: cfd_telemetry::Counter,
+    runs_threaded: cfd_telemetry::Counter,
+    runs_analytic: cfd_telemetry::Counter,
+    runs_spectra_fed: cfd_telemetry::Counter,
+    critical_cycles: cfd_telemetry::Gauge,
+    energy_per_block_uj: cfd_telemetry::Gauge,
+}
+
+fn instruments() -> &'static SocInstruments {
+    static INSTRUMENTS: OnceLock<SocInstruments> = OnceLock::new();
+    INSTRUMENTS.get_or_init(|| SocInstruments {
+        run_ns: cfd_telemetry::histogram("soc.run_ns"),
+        correlate_ns: cfd_telemetry::histogram("soc.correlate_ns"),
+        runs_lockstep: cfd_telemetry::counter("soc.runs.lockstep"),
+        runs_threaded: cfd_telemetry::counter("soc.runs.threaded"),
+        runs_analytic: cfd_telemetry::counter("soc.runs.analytic"),
+        runs_spectra_fed: cfd_telemetry::counter("soc.runs.spectra_fed"),
+        critical_cycles: cfd_telemetry::gauge("soc.run.critical_cycles"),
+        energy_per_block_uj: cfd_telemetry::gauge("soc.run.energy_per_block_uj"),
+    })
+}
 use montium_sim::kernels::{analytic_step_cycles, IntegrationStepCycles, TileTaskSet};
 use montium_sim::MontiumConfig;
 use serde::{Deserialize, Serialize};
@@ -304,6 +334,13 @@ impl TiledSoc {
             }));
         }
         self.check_path(self.config.mode == ExecutionMode::Analytic)?;
+        let instruments = instruments();
+        let _span = instruments.run_ns.start_timer();
+        match self.config.mode {
+            ExecutionMode::Lockstep => instruments.runs_lockstep.increment(),
+            ExecutionMode::Threaded => instruments.runs_threaded.increment(),
+            ExecutionMode::Analytic => instruments.runs_analytic.increment(),
+        }
         for block in 0..num_blocks {
             let samples = &signal[block * self.fft_len..(block + 1) * self.fft_len];
             match self.config.mode {
@@ -312,7 +349,14 @@ impl TiledSoc {
                 ExecutionMode::Analytic => self.run_block_analytic(samples)?,
             }
         }
-        self.fill_run(num_blocks, out)
+        self.fill_run(num_blocks, out)?;
+        instruments
+            .critical_cycles
+            .set(out.cycles_per_block() as f64);
+        instruments
+            .energy_per_block_uj
+            .set(self.metrics(out).energy_per_block_uj());
+        Ok(())
     }
 
     /// The spectra-fed fast path: accumulates one integration step per
@@ -350,6 +394,9 @@ impl TiledSoc {
         out: &mut SocRun,
     ) -> Result<(), SocError> {
         self.check_path(true)?;
+        let instruments = instruments();
+        let _span = instruments.correlate_ns.start_timer();
+        instruments.runs_spectra_fed.increment();
         for (n, block) in spectra.iter().enumerate() {
             // Exact length required: a longer buffer would be the spectrum
             // of a *different* FFT size, and truncating it would correlate

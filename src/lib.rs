@@ -15,7 +15,11 @@
 //! * [`core`] (`cfd-core`) — the two-step methodology, Table 1 / Section 5
 //!   reports and end-to-end spectrum sensing;
 //! * [`scenario`] (`cfd-scenario`) — the radio-scenario engine: signal
-//!   models, channel pipelines, SNR sweeps and the ROC evaluation harness.
+//!   models, channel pipelines, SNR sweeps and the ROC evaluation harness;
+//! * [`telemetry`] (`cfd-telemetry`) — the observability substrate: spans,
+//!   the metric registry of counters/gauges/log2 latency histograms every
+//!   crate above reports into, and the schema-versioned metrics snapshot
+//!   (see the repository README's *Observability* section).
 //!
 //! The umbrella additionally provides [`Error`], the single error type
 //! every member crate's error converts into — the one type to handle when
@@ -45,6 +49,7 @@ pub use cfd_core as core;
 pub use cfd_dsp as dsp;
 pub use cfd_mapping as mapping;
 pub use cfd_scenario as scenario;
+pub use cfd_telemetry as telemetry;
 pub use error::Error;
 pub use montium_sim as montium;
 pub use tiled_soc as soc;

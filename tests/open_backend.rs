@@ -164,7 +164,7 @@ fn custom_backends_run_in_a_parallel_sweep_and_appear_in_the_table() {
     // And the custom detectors survive the JSON emission path (labels are
     // escaped, schema versioned).
     let json = table.to_json();
-    assert!(json.starts_with("{\"schema\":1,"));
+    assert!(json.starts_with("{\"schema\":2,"));
     assert!(json.contains("\"detector\":\"cyclic-energy\""));
     assert!(json.contains("\"detector\":\"either-vote\""));
 }

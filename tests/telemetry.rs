@@ -1,0 +1,157 @@
+//! Pins the telemetry cost model and the sweep engine's metric contract:
+//!
+//! * **no-op mode** — with timing disabled (the default), running a full
+//!   sweep records *nothing* into any latency histogram, while throughput
+//!   counters still advance (counters are always-live so cache-contract
+//!   tests like `shared_spectra.rs` work without enabling telemetry);
+//! * **enabled mode** — with timing enabled, one sweep over the SoC-backed
+//!   roster fills every per-stage histogram of the pipeline (FFT, DSCF
+//!   spectra + accumulate, SoC correlate, decide, sweep cells);
+//! * **snapshot determinism** — the throughput counters advance by the
+//!   same amount whether the sweep runs serially or with three workers:
+//!   worker count is an execution detail, not a metric.
+//!
+//! This lives in its own integration-test binary, as **one** `#[test]`, on
+//! purpose: the metric registry is process-global and `set_enabled` is a
+//! process-global switch, so delta measurements must not race other tests
+//! in the same process.
+
+use cfd_core::app::{CfdApplication, Platform};
+use cfd_dsp::detector::CyclostationaryDetector;
+use cfd_dsp::scf::ScfParams;
+use cfd_scenario::prelude::*;
+use cfd_telemetry::MetricsSnapshot;
+
+fn params() -> ScfParams {
+    ScfParams::new(32, 7, 16).unwrap()
+}
+
+/// Histogram count in a snapshot (0 when the histogram does not exist yet).
+fn hcount(snapshot: &MetricsSnapshot, name: &str) -> u64 {
+    snapshot.histogram(name).map_or(0, |h| h.count)
+}
+
+/// Every per-stage latency histogram the pipeline feeds on any sweep path.
+const STAGES: [&str; 6] = [
+    "dsp.fft.forward_ns",
+    "dsp.scf.spectra_ns",
+    "dsp.scf.accumulate_ns",
+    "soc.correlate_ns",
+    "core.decide.cfd_ns",
+    "core.decide.cfd_soc_ns",
+];
+
+#[test]
+fn telemetry_is_inert_by_default_and_covers_every_stage_when_enabled() {
+    let len = params().samples_needed();
+    let scenario = RadioScenario::preset("bpsk-awgn", len)
+        .expect("built-in preset")
+        .with_seed(29);
+    let points = 2usize;
+    let trials = 4usize;
+    let sweep = SnrSweep::new(vec![-5.0, 5.0], trials).unwrap();
+    // One shared H0 pass plus one H1 pass per SNR point.
+    let observations = (points + 1) * trials;
+
+    // A golden-model CFD plus a tiled-SoC session: between them they touch
+    // every stage histogram in `STAGES`.
+    let run_sweep = |workers: usize| {
+        SweepBuilder::new(&scenario)
+            .sweep(sweep.clone())
+            .backend(CyclostationaryDetector::new(params(), 0.35, 1).unwrap())
+            .backend(SessionRecipe::new(
+                CfdApplication::new(32, 7, 16).unwrap(),
+                &Platform::paper(),
+                0.35,
+                1,
+            ))
+            .workers(workers)
+            .run()
+            .unwrap()
+    };
+
+    // --- 1. No-op mode: timing off records nothing, counters advance ----
+    assert!(
+        !cfd_telemetry::enabled(),
+        "timing must be off unless a binary opts in"
+    );
+    let before = cfd_telemetry::registry().snapshot();
+    let table_disabled = run_sweep(1);
+    let after = cfd_telemetry::registry().snapshot();
+    for stage in STAGES {
+        assert_eq!(
+            hcount(&after, stage),
+            hcount(&before, stage),
+            "disabled telemetry must not record into {stage}"
+        );
+    }
+    let trials_counter = |s: &MetricsSnapshot| s.counter("scenario.sweep.trials").unwrap_or(0);
+    let spectra_counter = |s: &MetricsSnapshot| {
+        s.counter("core.observation.spectra_computations")
+            .unwrap_or(0)
+    };
+    assert_eq!(
+        trials_counter(&after) - trials_counter(&before),
+        observations as u64,
+        "throughput counters stay live in no-op mode"
+    );
+    assert_eq!(
+        spectra_counter(&after) - spectra_counter(&before),
+        observations as u64,
+        "cache counters stay live in no-op mode"
+    );
+
+    // --- 2. Enabled mode: one sweep fills every stage histogram ---------
+    cfd_telemetry::set_enabled(true);
+    let before = after;
+    let table_serial = run_sweep(1);
+    let mid = cfd_telemetry::registry().snapshot();
+    for stage in STAGES {
+        assert!(
+            hcount(&mid, stage) > hcount(&before, stage),
+            "enabled telemetry must record into {stage}"
+        );
+    }
+    assert!(hcount(&mid, "scenario.sweep.run_ns") > hcount(&before, "scenario.sweep.run_ns"));
+
+    // --- 3. Snapshot determinism: worker count is not a metric ----------
+    let table_parallel = run_sweep(3);
+    let after = cfd_telemetry::registry().snapshot();
+    // The parallel engine additionally times per-cell work and queue waits.
+    assert!(
+        hcount(&after, "scenario.sweep.cell_ns") > hcount(&mid, "scenario.sweep.cell_ns"),
+        "parallel sweeps time each work cell"
+    );
+    assert_eq!(
+        trials_counter(&mid) - trials_counter(&before),
+        trials_counter(&after) - trials_counter(&mid),
+        "serial and parallel sweeps must count the same trials"
+    );
+    assert_eq!(
+        spectra_counter(&mid) - spectra_counter(&before),
+        spectra_counter(&after) - spectra_counter(&mid),
+        "serial and parallel sweeps must compute the same spectra"
+    );
+    // And the tables themselves stay bit-identical across all three runs.
+    assert_eq!(table_serial, table_parallel);
+    assert_eq!(table_serial, table_disabled);
+
+    // --- 4. The snapshot JSON document is schema-versioned --------------
+    let json = after.to_json();
+    assert!(json.starts_with(&format!(
+        "{{\"schema\":{},",
+        cfd_telemetry::METRICS_JSON_SCHEMA
+    )));
+    let doc = cfd_telemetry::json::parse(&json).expect("snapshot emits valid JSON");
+    assert_eq!(
+        doc.pointer(&["schema"]).and_then(|v| v.as_f64()),
+        Some(cfd_telemetry::METRICS_JSON_SCHEMA as f64)
+    );
+    assert!(
+        doc.pointer(&["histograms", "dsp.fft.forward_ns", "count"])
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0)
+            > 0.0,
+        "stage histograms survive the JSON round-trip"
+    );
+}
