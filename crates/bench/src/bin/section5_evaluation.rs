@@ -180,17 +180,82 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("analytic sweep            : {:.4} s", analytic_seconds);
     println!("lockstep sweep            : {:.4} s", lockstep_seconds);
     println!("speedup                   : {speedup:.1}x  (decision-identical tables)");
+
+    header("Wideband kernels past the paper's grid (ROADMAP item 2)");
+    // The unit-stride DSCF kernel and the analytic SoC correlator at the
+    // wideband scales, timed through telemetry spans (min of 3 so one
+    // scheduler hiccup does not pollute the trajectory). Running them here
+    // also fills the per-scale `dsp.scf.accumulate_ns.g511`/`.g1023`
+    // histograms and the `soc.analytic.threads` gauge in the snapshot the
+    // gate diffs.
+    let mut kernel_timings: Vec<(String, f64)> = Vec::new();
+    for (label, fft_len, max_offset) in [("511x511", 1024usize, 255usize), ("1023x1023", 2048, 511)]
+    {
+        let params = cfd_dsp::scf::ScfParams::new(fft_len, max_offset, 8)?;
+        let signal = awgn(params.samples_needed(), 1.0, fft_len as u64);
+        let engine = cfd_dsp::scf::ScfEngine::new(params)?;
+        let spectra = engine.compute_spectra(&signal)?;
+        let mut matrix = cfd_dsp::scf::ScfMatrix::zeros(max_offset);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let timer =
+                cfd_telemetry::histogram(&format!("bench.section5.dscf_{label}_ns")).start_timer();
+            engine.dscf_from_spectra_into(&spectra, &mut matrix);
+            let nanos = timer.stop().expect("telemetry is enabled in this binary");
+            best = best.min(nanos as f64 / 1e9);
+        }
+        println!(
+            "dscf engine {label:<11} 8 blocks : {:9.1} us  (min of 3)",
+            best * 1e6
+        );
+        kernel_timings.push((format!("dscf_{label}_8blocks_seconds"), best));
+
+        // The paper's 1K-word tile memories only hold the 127x127 slice;
+        // the wideband platforms provision each memory at 64K words.
+        let tile = montium_sim::MontiumConfig {
+            words_per_memory: 65536,
+            ..montium_sim::MontiumConfig::paper()
+        };
+        let config = tiled_soc::config::SocConfig::paper()
+            .with_tile_config(tile)
+            .with_mode(tiled_soc::config::ExecutionMode::Analytic);
+        let mut soc = TiledSoc::new(config, max_offset, fft_len)?;
+        let mut run = soc.empty_run();
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let timer =
+                cfd_telemetry::histogram(&format!("bench.section5.soc_analytic_{label}_ns"))
+                    .start_timer();
+            soc.reset();
+            soc.run_from_spectra_into(&spectra, &mut run)?;
+            let nanos = timer.stop().expect("telemetry is enabled in this binary");
+            best = best.min(nanos as f64 / 1e9);
+        }
+        println!(
+            "soc analytic {label:<11} 8 blocks: {:9.1} us  (min of 3)",
+            best * 1e6
+        );
+        kernel_timings.push((format!("soc_analytic_{label}_8blocks_seconds"), best));
+    }
+
     if let Some(path) = &paths.bench_json {
-        // Splice the platform-path timing into the RocTable document so the
-        // uploaded BENCH_sweeps.json tracks both the Pd/Pfa trajectory and
-        // the SoC sweep cost per commit.
+        // Splice the platform-path timing and the wideband kernel timings
+        // into the RocTable document so the uploaded BENCH_sweeps.json
+        // tracks the Pd/Pfa trajectory, the SoC sweep cost and the
+        // large-grid kernel cost per commit.
         let rows = table.to_json();
         let rows = rows
             .strip_suffix('}')
             .expect("RocTable::to_json emits an object");
+        let kernels = kernel_timings
+            .iter()
+            .map(|(key, seconds)| format!("\"{key}\":{seconds}"))
+            .collect::<Vec<_>>()
+            .join(",");
         let json = format!(
             "{rows},\"soc_sweep\":{{\"analytic_seconds\":{analytic_seconds},\
-             \"lockstep_seconds\":{lockstep_seconds},\"speedup\":{speedup}}}}}"
+             \"lockstep_seconds\":{lockstep_seconds},\"speedup\":{speedup}}},\
+             \"kernels\":{{{kernels}}}}}"
         );
         std::fs::write(path, json)?;
         println!(

@@ -159,6 +159,19 @@ pub fn timing_metrics(document: &JsonValue) -> Vec<(String, f64)> {
             metrics.push((format!("soc_sweep.{field}"), value));
         }
     }
+    // Wideband kernel timings spliced in by `section5_evaluation` (every
+    // `_seconds` field under `kernels`): new scales appear as new keys,
+    // which the comparison reports as notes, not failures.
+    if let Some(kernels) = document.get("kernels").and_then(JsonValue::as_object) {
+        for (name, value) in kernels {
+            if !name.ends_with("_seconds") {
+                continue;
+            }
+            if let Some(seconds) = value.as_f64() {
+                metrics.push((format!("kernels.{name}"), seconds));
+            }
+        }
+    }
     if let Some(histograms) = document.get("histograms").and_then(JsonValue::as_object) {
         for (name, histogram) in histograms {
             if !name.ends_with("_ns") {
@@ -288,6 +301,56 @@ mod tests {
         let report =
             compare_documents(&metrics_doc(1000), &metrics_doc(8000), DEFAULT_TOLERANCE).unwrap();
         assert!(!report.passed());
+    }
+
+    fn kernels_doc(dscf_511: f64) -> String {
+        format!(
+            "{{\"schema\":2,\"rows\":[],\"kernels\":{{\
+             \"dscf_511x511_8blocks_seconds\":{dscf_511},\
+             \"soc_analytic_511x511_8blocks_seconds\":0.002,\
+             \"iterations\":3}}}}"
+        )
+    }
+
+    #[test]
+    fn gates_spliced_kernel_seconds() {
+        // The `_seconds` fields under `kernels` are gated; other fields
+        // (e.g. an iteration count) are not.
+        let report =
+            compare_documents(&kernels_doc(0.001), &kernels_doc(0.0015), DEFAULT_TOLERANCE)
+                .unwrap();
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 2);
+        assert!(report
+            .checks
+            .iter()
+            .any(|check| check.metric == "kernels.dscf_511x511_8blocks_seconds"));
+        assert!(!report
+            .checks
+            .iter()
+            .any(|check| check.metric.contains("iterations")));
+        let report =
+            compare_documents(&kernels_doc(0.001), &kernels_doc(0.005), DEFAULT_TOLERANCE).unwrap();
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn new_kernel_keys_pass_with_a_note() {
+        // A PR that introduces a new tracked scale must not be blocked by
+        // the gate: the key is absent from the previous artefact, so it is
+        // a note, not a check.
+        let report = compare_documents(
+            &sweeps_doc(1.0, 1.0),
+            &kernels_doc(0.001),
+            DEFAULT_TOLERANCE,
+        )
+        .unwrap();
+        assert!(report.passed());
+        assert!(report
+            .notes
+            .iter()
+            .any(|note| note.contains("kernels.dscf_511x511_8blocks_seconds")
+                && note.contains("is new")));
     }
 
     #[test]

@@ -34,12 +34,20 @@ impl CfdApplication {
                 message: format!("must be a power of two, got {fft_len}"),
             });
         }
-        if 2 * max_offset >= fft_len {
+        // `checked_mul` first: on 32-bit-ish inputs near usize::MAX the
+        // doubled width must surface as a structured error, not wrap
+        // around into a bogus comparison (or a debug-build panic).
+        let doubled = max_offset
+            .checked_mul(2)
+            .ok_or(CfdError::InvalidParameter {
+                name: "max_offset",
+                message: format!("2*max_offset overflows usize (max_offset = {max_offset})"),
+            })?;
+        if doubled >= fft_len {
             return Err(CfdError::InvalidParameter {
                 name: "max_offset",
                 message: format!(
-                    "2*max_offset ({}) must be smaller than fft_len ({fft_len})",
-                    2 * max_offset
+                    "2*max_offset ({doubled}) must be smaller than fft_len ({fft_len})"
                 ),
             });
         }
@@ -109,6 +117,12 @@ pub struct Platform {
     pub tile: MontiumConfig,
     /// Simulation execution mode.
     pub mode: ExecutionMode,
+    /// Worker threads of the analytic fast path (`1` = serial reference,
+    /// `0` = one per available core); forwarded to
+    /// [`SocConfig::analytic_threads`] and further capped by the
+    /// process-wide analytic thread budget. Bit-identical results at every
+    /// value.
+    pub soc_threads: usize,
 }
 
 impl Platform {
@@ -125,6 +139,7 @@ impl Platform {
             cores: 4,
             tile: MontiumConfig::paper(),
             mode: ExecutionMode::Analytic,
+            soc_threads: 1,
         }
     }
 
@@ -143,12 +158,20 @@ impl Platform {
         self
     }
 
+    /// Sets the analytic fast path's worker-thread request (`0` = one per
+    /// available core; see [`Platform::soc_threads`]).
+    pub fn with_soc_threads(mut self, soc_threads: usize) -> Self {
+        self.soc_threads = soc_threads;
+        self
+    }
+
     /// The equivalent SoC configuration.
     pub fn soc_config(&self) -> SocConfig {
         SocConfig::paper()
             .with_tiles(self.cores)
             .with_tile_config(self.tile.clone())
             .with_mode(self.mode)
+            .with_analytic_threads(self.soc_threads)
     }
 }
 
@@ -186,5 +209,16 @@ mod tests {
         let p8 = Platform::with_cores(8).with_mode(ExecutionMode::Threaded);
         assert_eq!(p8.soc_config().num_tiles, 8);
         assert_eq!(p8.mode, ExecutionMode::Threaded);
+        assert_eq!(platform.soc_threads, 1);
+        let pt = Platform::paper().with_soc_threads(3);
+        assert_eq!(pt.soc_config().analytic_threads, 3);
+    }
+
+    #[test]
+    fn application_overflow_is_a_structured_error() {
+        // Near-usize::MAX offsets must surface as InvalidParameter, not
+        // wrap around or panic in debug builds.
+        let err = CfdApplication::new(256, usize::MAX / 2 + 1, 1).unwrap_err();
+        assert!(matches!(err, CfdError::InvalidParameter { name, .. } if name == "max_offset"));
     }
 }

@@ -50,6 +50,7 @@ pub use error::CfdError;
 pub use methodology::{MappingReport, Step1Report, Step2Report, TwoStepMapping};
 pub use report::{EvaluationReport, EvaluationRow, Table1Report, Table1Row};
 pub use sensing::{SensingReport, SpectrumSensor};
+pub use tiled_soc::soc::{analytic_thread_budget, set_analytic_thread_budget};
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {

@@ -21,6 +21,7 @@ use crate::complex::Cplx;
 use crate::error::DspError;
 use crate::fft::{block_spectrum, block_spectrum_into, FftPlan};
 use crate::window::Window;
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::OnceLock;
 
@@ -35,6 +36,15 @@ fn spectra_ns() -> &'static cfd_telemetry::Histogram {
 fn accumulate_ns() -> &'static cfd_telemetry::Histogram {
     static ACCUMULATE_NS: OnceLock<cfd_telemetry::Histogram> = OnceLock::new();
     ACCUMULATE_NS.get_or_init(|| cfd_telemetry::histogram("dsp.scf.accumulate_ns"))
+}
+
+/// Contiguous operand runs executed per accumulation call (always-live, like
+/// the cache counters): `segments-per-grid × blocks` per call. A row splits
+/// into more than one run only where an operand wraps past bin `K−1`, so
+/// this counter exposes how contiguous the unit-stride decomposition is.
+fn segment_runs() -> &'static cfd_telemetry::Counter {
+    static SEGMENT_RUNS: OnceLock<cfd_telemetry::Counter> = OnceLock::new();
+    SEGMENT_RUNS.get_or_init(|| cfd_telemetry::counter("dsp.scf.segment_runs"))
 }
 
 /// Parameters of a DSCF evaluation.
@@ -120,6 +130,18 @@ impl ScfParams {
                 message: "must be at least 1".into(),
             });
         }
+        // Spectral indices are mapped through `centred_bin`'s i32 domain and
+        // the engine's u32 segment tables; a wider FFT cannot be indexed.
+        if self.fft_len > i32::MAX as usize {
+            return Err(DspError::InvalidParameter {
+                name: "fft_len",
+                message: format!(
+                    "{} exceeds the 32-bit spectral index domain ({})",
+                    self.fft_len,
+                    i32::MAX
+                ),
+            });
+        }
         if self.num_blocks == 0 {
             return Err(DspError::InvalidParameter {
                 name: "num_blocks",
@@ -132,12 +154,24 @@ impl ScfParams {
                 message: "must be at least 1".into(),
             });
         }
-        if 2 * self.max_offset >= self.fft_len {
+        // Checked doubling: `2 * max_offset` must not silently wrap (a
+        // debug-build panic and a release-build wraparound are both wrong
+        // answers for a parameter error).
+        let doubled = self
+            .max_offset
+            .checked_mul(2)
+            .ok_or_else(|| DspError::InvalidParameter {
+                name: "max_offset",
+                message: format!(
+                    "2*max_offset overflows usize (max_offset = {})",
+                    self.max_offset
+                ),
+            })?;
+        if doubled >= self.fft_len {
             return Err(DspError::InvalidParameter {
                 name: "max_offset",
                 message: format!(
-                    "2*max_offset ({}) must be smaller than fft_len ({})",
-                    2 * self.max_offset,
+                    "2*max_offset ({doubled}) must be smaller than fft_len ({})",
                     self.fft_len
                 ),
             });
@@ -440,8 +474,532 @@ pub fn dscf_from_spectra(spectra: &[Vec<Cplx>], params: &ScfParams) -> ScfMatrix
     matrix
 }
 
-/// The fast software DSCF kernel: table-driven, symmetry-halved, and
-/// allocation-reusing.
+/// One contiguous run of a half-grid row's accumulation.
+///
+/// For `len` consecutive offsets starting at `a = out`, the direct operand
+/// reads `block[plus + i]` and the conjugated operand reads `rev[rev + i]`,
+/// where `rev` is the index-reversed block (`rev[t] = block[(K−t) mod K]`) —
+/// both forward unit-stride. Segments never cross a wrap of either operand,
+/// so the slices they window are plain contiguous windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RowSegment {
+    /// First offset `a` of the run (column relative to `a = 0`).
+    out: u32,
+    /// Number of consecutive offsets in the run.
+    len: u32,
+    /// Start of the direct-operand window: `plus + i = (bin(f) + a) mod K`.
+    plus: u32,
+    /// Start of the conjugate-operand window in the reversed block:
+    /// `rev + i = (bin(−f) + a) mod K`.
+    rev: u32,
+}
+
+/// Reusable per-thread staging of the accumulation kernel: the block
+/// spectra (direct and index-reversed) and one row-band of accumulators,
+/// all split into separate re/im planes so the segment loops are pure
+/// vertical `f64` operations the vectorised band kernel turns into packed
+/// loads and adds. Thread-local rather than per-engine because
+/// [`ScfEngine`] is shared immutably across sweep workers.
+#[derive(Default)]
+struct ScfScratch {
+    plus_re: Vec<f64>,
+    plus_im: Vec<f64>,
+    rev_re: Vec<f64>,
+    rev_im: Vec<f64>,
+    acc_re: Vec<f64>,
+    acc_im: Vec<f64>,
+    row_buf: Vec<Cplx>,
+}
+
+thread_local! {
+    static SCF_SCRATCH: RefCell<ScfScratch> = RefCell::new(ScfScratch::default());
+}
+
+/// The four operand windows (direct re/im, reversed re/im) of one block
+/// over one segment, each `len` values long.
+type SegOperands<'a> = (&'a [f64], &'a [f64], &'a [f64], &'a [f64]);
+
+/// Slices block `b`'s operand windows for a segment out of the staged
+/// planes.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn seg_operands<'a>(
+    plus_re: &'a [f64],
+    plus_im: &'a [f64],
+    rev_re: &'a [f64],
+    rev_im: &'a [f64],
+    b: usize,
+    k: usize,
+    seg: &RowSegment,
+) -> SegOperands<'a> {
+    let len = seg.len as usize;
+    let plus = b * k + seg.plus as usize;
+    let rev = b * k + seg.rev as usize;
+    (
+        &plus_re[plus..][..len],
+        &plus_im[plus..][..len],
+        &rev_re[rev..][..len],
+        &rev_im[rev..][..len],
+    )
+}
+
+/// One unit-stride pass over a segment, accumulating `B` blocks per point
+/// with the accumulator held in registers across the unrolled block chain
+/// (the inner loop over a const-length array is fully unrolled). The
+/// per-point expression is the reference's product — four products, two
+/// single-rounded sums per block, chained onto the accumulator in block
+/// order — so the summation tree is exactly the one [`dscf_reference`]
+/// builds (`f64::mul_add` was measured here in PR 4 and rejected: without
+/// FMA in the target feature set it lowers to a libm call per point, 6×
+/// slower, and with FMA it would change the rounding).
+#[inline(always)]
+fn seg_pass<const B: usize>(ar: &mut [f64], ai: &mut [f64], ops: &[SegOperands<'_>; B]) {
+    let len = ar.len();
+    let ai = &mut ai[..len];
+    for i in 0..len {
+        let mut re = ar[i];
+        let mut im = ai[i];
+        for &(xr, xi, yr, yi) in ops {
+            re += xr[i] * yr[i] + xi[i] * yi[i];
+            im += xi[i] * yr[i] - xr[i] * yi[i];
+        }
+        ar[i] = re;
+        ai[i] = im;
+    }
+}
+
+/// [`seg_pass`] for the first blocks of a segment: the accumulator starts
+/// from the literal `0.0` instead of a pre-zeroed slab, so the band needs
+/// no clearing memset and the first pass issues no accumulator loads. The
+/// chain `0.0 + t₀ + …` is exactly what the zero-filled slab would have
+/// computed (the compiler cannot and does not fold `0.0 + t₀` — it would
+/// change the sign of a `-0.0` term — so the rounding tree is unchanged).
+#[inline(always)]
+fn seg_pass_init<const B: usize>(ar: &mut [f64], ai: &mut [f64], ops: &[SegOperands<'_>; B]) {
+    let len = ar.len();
+    let ai = &mut ai[..len];
+    for i in 0..len {
+        let mut re = 0.0f64;
+        let mut im = 0.0f64;
+        for &(xr, xi, yr, yi) in ops {
+            re += xr[i] * yr[i] + xi[i] * yi[i];
+            im += xi[i] * yr[i] - xr[i] * yi[i];
+        }
+        ar[i] = re;
+        ai[i] = im;
+    }
+}
+
+/// One row-band of the segment accumulation: every row of the band runs
+/// its segments as forward unit-stride passes into the band-local
+/// accumulator planes (`(row − band.start)·half + a`), with the blocks
+/// fused innermost — four per pass — so each accumulator value is loaded
+/// and stored once per run instead of once per block. Per accumulator the
+/// blocks still arrive in ascending order (4-chains, then a 2-chain, then
+/// a single), so the result is bit-identical to the block-at-a-time loop.
+/// Shared by the generic and the AVX2-dispatched kernels below.
+#[inline(always)]
+fn accumulate_band_body(
+    segments: &[RowSegment],
+    row_bounds: &[u32],
+    band: std::ops::Range<usize>,
+    half: usize,
+    k: usize,
+    scratch: &mut ScfScratch,
+) {
+    let ScfScratch {
+        plus_re,
+        plus_im,
+        rev_re,
+        rev_im,
+        acc_re,
+        acc_im,
+        ..
+    } = scratch;
+    let n = plus_re.len() / k;
+    for row in band.clone() {
+        let acc_base = (row - band.start) * half;
+        let bounds = row_bounds[row] as usize..row_bounds[row + 1] as usize;
+        for seg in &segments[bounds] {
+            let len = seg.len as usize;
+            let ar = &mut acc_re[acc_base + seg.out as usize..][..len];
+            let ai = &mut acc_im[acc_base + seg.out as usize..][..len];
+            // The first pass writes (`seg_pass_init`), the rest accumulate;
+            // per accumulator the blocks arrive strictly ascending.
+            let mut b: usize;
+            if n >= 4 {
+                let ops = [
+                    seg_operands(plus_re, plus_im, rev_re, rev_im, 0, k, seg),
+                    seg_operands(plus_re, plus_im, rev_re, rev_im, 1, k, seg),
+                    seg_operands(plus_re, plus_im, rev_re, rev_im, 2, k, seg),
+                    seg_operands(plus_re, plus_im, rev_re, rev_im, 3, k, seg),
+                ];
+                seg_pass_init(ar, ai, &ops);
+                b = 4;
+            } else if n >= 2 {
+                let ops = [
+                    seg_operands(plus_re, plus_im, rev_re, rev_im, 0, k, seg),
+                    seg_operands(plus_re, plus_im, rev_re, rev_im, 1, k, seg),
+                ];
+                seg_pass_init(ar, ai, &ops);
+                b = 2;
+            } else {
+                let ops = [seg_operands(plus_re, plus_im, rev_re, rev_im, 0, k, seg)];
+                seg_pass_init(ar, ai, &ops);
+                b = 1;
+            }
+            while b + 4 <= n {
+                let ops = [
+                    seg_operands(plus_re, plus_im, rev_re, rev_im, b, k, seg),
+                    seg_operands(plus_re, plus_im, rev_re, rev_im, b + 1, k, seg),
+                    seg_operands(plus_re, plus_im, rev_re, rev_im, b + 2, k, seg),
+                    seg_operands(plus_re, plus_im, rev_re, rev_im, b + 3, k, seg),
+                ];
+                seg_pass(ar, ai, &ops);
+                b += 4;
+            }
+            if b + 2 <= n {
+                let ops = [
+                    seg_operands(plus_re, plus_im, rev_re, rev_im, b, k, seg),
+                    seg_operands(plus_re, plus_im, rev_re, rev_im, b + 1, k, seg),
+                ];
+                seg_pass(ar, ai, &ops);
+                b += 2;
+            }
+            if b < n {
+                let ops = [seg_operands(plus_re, plus_im, rev_re, rev_im, b, k, seg)];
+                seg_pass(ar, ai, &ops);
+            }
+        }
+    }
+}
+
+fn accumulate_band_generic(
+    segments: &[RowSegment],
+    row_bounds: &[u32],
+    band: std::ops::Range<usize>,
+    half: usize,
+    k: usize,
+    scratch: &mut ScfScratch,
+) {
+    accumulate_band_body(segments, row_bounds, band, half, k, scratch);
+}
+
+/// The same band kernel compiled for AVX2 (4-wide `f64` lanes instead of
+/// SSE2's 2). Only `avx2` is enabled — not `fma` — so the generated code
+/// performs exactly the IEEE multiplies and adds of the generic kernel and
+/// the results stay bit-identical; the dispatch is purely a throughput
+/// choice made at run time.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn accumulate_band_avx2(
+    segments: &[RowSegment],
+    row_bounds: &[u32],
+    band: std::ops::Range<usize>,
+    half: usize,
+    k: usize,
+    scratch: &mut ScfScratch,
+) {
+    accumulate_band_body(segments, row_bounds, band, half, k, scratch);
+}
+
+/// The same band kernel compiled for AVX-512 (8-wide `f64` lanes). Like
+/// the AVX2 copy this cannot change the arithmetic: rustc emits plain
+/// IEEE multiplies and adds with no fast-math flags, so the backend is
+/// not allowed to contract them into FMAs no matter which instructions
+/// the feature set offers — wider registers only.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+fn accumulate_band_avx512(
+    segments: &[RowSegment],
+    row_bounds: &[u32],
+    band: std::ops::Range<usize>,
+    half: usize,
+    k: usize,
+    scratch: &mut ScfScratch,
+) {
+    accumulate_band_body(segments, row_bounds, band, half, k, scratch);
+}
+
+/// The widest vector tier the host supports (checked once per call site;
+/// the feature-detection macro caches the CPUID probe).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum VectorTier {
+    Generic,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+}
+
+fn vector_tier() -> VectorTier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return VectorTier::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return VectorTier::Avx2;
+        }
+    }
+    VectorTier::Generic
+}
+
+/// Normalises and mirrors one output row: `row[m + a] = acc[a]/N` for
+/// `a ∈ 0..=m` and `row[m - a]` its conjugate, the mirror written forward
+/// (reads reversed). Negating the already-scaled imaginary part is exact,
+/// identical to `.conj()` of the `a ≥ 0` cell.
+#[inline(always)]
+fn finalize_row_scalar(row_vals: &mut [Cplx], ar: &[f64], ai: &[f64], m: usize, scale: f64) {
+    let (neg, pos) = row_vals.split_at_mut(m);
+    for (a, cell) in pos.iter_mut().enumerate() {
+        *cell = Cplx::new(ar[a] * scale, ai[a] * scale);
+    }
+    for (j, cell) in neg.iter_mut().enumerate() {
+        let a = m - j;
+        *cell = Cplx::new(ar[a] * scale, -(ai[a] * scale));
+    }
+}
+
+/// Streams `src` into `dst` with non-temporal stores, bit-exact. The
+/// output matrix is written exactly once per call and read much later (if
+/// at all), so bypassing the cache avoids the read-for-ownership of every
+/// output line — at wideband scales that is megabytes of loads for data
+/// that is about to be overwritten. Requires a 16-byte-aligned `dst`
+/// (checked by the caller).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn nt_copy_avx(dst: *mut f64, src: *const f64, n: usize) {
+    use std::arch::x86_64::{_mm256_loadu_pd, _mm256_stream_pd, _mm_loadu_pd, _mm_stream_pd};
+    let mut i = 0usize;
+    if !(dst as usize).is_multiple_of(32) && i + 2 <= n {
+        _mm_stream_pd(dst, _mm_loadu_pd(src));
+        i = 2;
+    }
+    while i + 4 <= n {
+        _mm256_stream_pd(dst.add(i), _mm256_loadu_pd(src.add(i)));
+        i += 4;
+    }
+    if i < n {
+        _mm_stream_pd(dst.add(i), _mm_loadu_pd(src.add(i)));
+    }
+}
+
+/// [`nt_copy_avx`] at SSE2 width (x86-64 baseline, no detection needed).
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn nt_copy_sse2(dst: *mut f64, src: *const f64, n: usize) {
+    use std::arch::x86_64::{_mm_loadu_pd, _mm_stream_pd};
+    let mut i = 0usize;
+    while i + 2 <= n {
+        // SAFETY: caller guarantees 16-byte-aligned dst and n readable /
+        // writable f64s.
+        unsafe { _mm_stream_pd(dst.add(i), _mm_loadu_pd(src.add(i))) };
+        i += 2;
+    }
+}
+
+/// Copies one finished row into the output matrix, streaming past the
+/// cache when the destination is 16-byte aligned (always true in
+/// practice: `Cplx` cells are 16 bytes and allocations of that size class
+/// are at least 16-byte aligned). Plain copy otherwise — same bits either
+/// way.
+fn copy_row_out(dst: &mut [Cplx], src: &[Cplx]) {
+    #[cfg(target_arch = "x86_64")]
+    if (dst.as_ptr() as usize).is_multiple_of(16) && dst.len() == src.len() {
+        let n = dst.len() * 2;
+        let d = dst.as_mut_ptr() as *mut f64;
+        let s = src.as_ptr() as *const f64;
+        // SAFETY: dst is 16-byte aligned (checked), the lengths match, and
+        // both ranges hold exactly `n` f64s.
+        unsafe {
+            if vector_tier() != VectorTier::Generic {
+                nt_copy_avx(d, s, n);
+            } else {
+                nt_copy_sse2(d, s, n);
+            }
+        }
+        return;
+    }
+    dst.copy_from_slice(src);
+}
+
+/// Orders the non-temporal finaliser stores before the call returns (a
+/// no-op where streaming stores are not used).
+fn finalize_fence() {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_sfence` has no preconditions.
+    unsafe {
+        std::arch::x86_64::_mm_sfence()
+    };
+}
+
+/// Runs one row-band through the widest kernel the host supports.
+fn accumulate_band(
+    segments: &[RowSegment],
+    row_bounds: &[u32],
+    band: std::ops::Range<usize>,
+    half: usize,
+    k: usize,
+    scratch: &mut ScfScratch,
+) {
+    match vector_tier() {
+        // SAFETY: each arm is gated on runtime detection of its feature.
+        #[cfg(target_arch = "x86_64")]
+        VectorTier::Avx512 => unsafe {
+            accumulate_band_avx512(segments, row_bounds, band, half, k, scratch)
+        },
+        #[cfg(target_arch = "x86_64")]
+        VectorTier::Avx2 => unsafe {
+            accumulate_band_avx2(segments, row_bounds, band, half, k, scratch)
+        },
+        VectorTier::Generic => {
+            accumulate_band_generic(segments, row_bounds, band, half, k, scratch)
+        }
+    }
+}
+
+/// Shared fused multiply–accumulate over one contiguous segment: for every
+/// staged block `b` (the planes hold `x_re.len() / k` blocks of `k` bins),
+/// accumulates `acc[i] += x[b·k + xs + i] · conj(y[b·k + ys + i])` in split
+/// re/im form, blocks strictly ascending per accumulator, the same fused
+/// 4/2/1 register chains as the engine's band kernel. With `init` the
+/// first pass starts every accumulator from a literal `0.0` instead of
+/// reading it — bitwise identical to accumulating onto zero-filled memory
+/// (`0.0 + t₀` is not foldable, see [`seg_pass_init`]) while sparing the
+/// caller the clearing write and the first read; `init` requires at least
+/// one staged block, or the accumulators would keep their stale state.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn mac_segment_body(
+    ar: &mut [f64],
+    ai: &mut [f64],
+    x_re: &[f64],
+    x_im: &[f64],
+    y_re: &[f64],
+    y_im: &[f64],
+    k: usize,
+    xs: usize,
+    ys: usize,
+    init: bool,
+) {
+    let len = ar.len();
+    let n = x_re.len() / k;
+    let op = |b: usize| -> SegOperands<'_> {
+        (
+            &x_re[b * k + xs..][..len],
+            &x_im[b * k + xs..][..len],
+            &y_re[b * k + ys..][..len],
+            &y_im[b * k + ys..][..len],
+        )
+    };
+    let mut b = 0usize;
+    if init {
+        debug_assert!(n >= 1, "init requires at least one staged block");
+        if n >= 4 {
+            let ops = [op(0), op(1), op(2), op(3)];
+            seg_pass_init(ar, ai, &ops);
+            b = 4;
+        } else if n >= 2 {
+            let ops = [op(0), op(1)];
+            seg_pass_init(ar, ai, &ops);
+            b = 2;
+        } else {
+            let ops = [op(0)];
+            seg_pass_init(ar, ai, &ops);
+            b = 1;
+        }
+    }
+    while b + 4 <= n {
+        let ops = [op(b), op(b + 1), op(b + 2), op(b + 3)];
+        seg_pass(ar, ai, &ops);
+        b += 4;
+    }
+    if b + 2 <= n {
+        let ops = [op(b), op(b + 1)];
+        seg_pass(ar, ai, &ops);
+        b += 2;
+    }
+    if b < n {
+        let ops = [op(b)];
+        seg_pass(ar, ai, &ops);
+    }
+}
+
+/// [`mac_segment_body`] compiled for AVX2 — wider lanes, identical IEEE
+/// arithmetic (no `fma`, so no contraction; see [`accumulate_band_avx2`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+fn mac_segment_avx2(
+    ar: &mut [f64],
+    ai: &mut [f64],
+    x_re: &[f64],
+    x_im: &[f64],
+    y_re: &[f64],
+    y_im: &[f64],
+    k: usize,
+    xs: usize,
+    ys: usize,
+    init: bool,
+) {
+    mac_segment_body(ar, ai, x_re, x_im, y_re, y_im, k, xs, ys, init);
+}
+
+/// [`mac_segment_body`] compiled for AVX-512 (8-wide `f64` lanes).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+fn mac_segment_avx512(
+    ar: &mut [f64],
+    ai: &mut [f64],
+    x_re: &[f64],
+    x_im: &[f64],
+    y_re: &[f64],
+    y_im: &[f64],
+    k: usize,
+    xs: usize,
+    ys: usize,
+    init: bool,
+) {
+    mac_segment_body(ar, ai, x_re, x_im, y_re, y_im, k, xs, ys, init);
+}
+
+/// Hidden crate-sharing hook: the tiled SoC's analytic fast path reuses
+/// the engine's unit-stride MAC kernel (and its runtime vector-tier
+/// dispatch) for its own per-tile segment decomposition. Not part of the
+/// public API surface — the layout contract (`k`-bin SoA planes, segment
+/// windows in bounds) is the caller's to uphold and panics on violation.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn mac_segment_blocks(
+    ar: &mut [f64],
+    ai: &mut [f64],
+    x_re: &[f64],
+    x_im: &[f64],
+    y_re: &[f64],
+    y_im: &[f64],
+    k: usize,
+    xs: usize,
+    ys: usize,
+    init: bool,
+) {
+    match vector_tier() {
+        // SAFETY: each arm is gated on runtime detection of its feature.
+        #[cfg(target_arch = "x86_64")]
+        VectorTier::Avx512 => unsafe {
+            mac_segment_avx512(ar, ai, x_re, x_im, y_re, y_im, k, xs, ys, init)
+        },
+        #[cfg(target_arch = "x86_64")]
+        VectorTier::Avx2 => unsafe {
+            mac_segment_avx2(ar, ai, x_re, x_im, y_re, y_im, k, xs, ys, init)
+        },
+        VectorTier::Generic => mac_segment_body(ar, ai, x_re, x_im, y_re, y_im, k, xs, ys, init),
+    }
+}
+
+/// The fast software DSCF kernel: segment-decomposed, unit-stride,
+/// symmetry-halved, and allocation-reusing.
 ///
 /// [`dscf_reference`] is deliberately a transliteration of eq. 3, and its
 /// hot loop pays for that honesty at every one of the `P²` grid points:
@@ -456,14 +1014,22 @@ pub fn dscf_from_spectra(spectra: &[Vec<Cplx>], params: &ScfParams) -> ScfMatrix
 ///   through [`block_spectrum_with_plan`](crate::fft::block_spectrum_with_plan), the same code path
 ///   [`block_spectrum`] uses, so engine spectra are bit-identical to the
 ///   golden model's);
-/// * the [`centred_bin`] index tables `bin(f+a)` / `bin(f-a)` for the
-///   `a ≥ 0` half-grid, so the accumulation loop is a straight
-///   multiply–accumulate over precomputed `u32` indices with no modular
-///   arithmetic and no per-point panic machinery;
-/// * row-major accumulation directly into the flat matrix buffer; the
-///   `a < 0` half is mirrored once at the end by conjugation, halving the
-///   multiply count (for a 127×127 grid: 127·64 = 8 128 products per block
-///   instead of 16 129).
+/// * a run-length decomposition of every half-grid row into contiguous
+///   `RowSegment`s: along a row (fixed `f`, `a` ascending) the direct
+///   operand walks `bin(f), bin(f)+1, …` and the conjugate operand walks
+///   `bin(f−a)` — *descending*, but forward through the index-reversed
+///   block `rev[t] = block[(K−t) mod K]`. Each sequence is consecutive
+///   modulo `K`, so a row needs at most two segments (one wrap of one
+///   operand: the direct run wraps only for `f < 0`, the reversed run only
+///   for `f > 0`) and the inner loop is pure unit stride — no gather
+///   tables, no modular arithmetic, no per-point panic machinery;
+/// * row-band × block cache blocking: the accumulation iterates bands of
+///   rows in an outer loop and blocks inside, so a band of accumulator
+///   rows stays in L1/L2 while each staged block spectrum streams through
+///   it once;
+/// * row-major accumulation with the `a < 0` half mirrored once at the end
+///   by conjugation, halving the multiply count (for a 127×127 grid:
+///   127·64 = 8 128 products per block instead of 16 129).
 ///
 /// [`ScfEngine::compute_into`] re-integrates into an existing
 /// [`ScfMatrix`], so Monte-Carlo sweeps reuse one matrix allocation across
@@ -471,10 +1037,12 @@ pub fn dscf_from_spectra(spectra: &[Vec<Cplx>], params: &ScfParams) -> ScfMatrix
 ///
 /// The mirrored half is *exactly* the conjugate of the computed half in
 /// IEEE arithmetic (conjugation commutes exactly with the complex
-/// multiply–accumulate used here), and the `a ≥ 0` half performs the same
-/// operations in the same order as the reference — so the engine is
-/// bit-identical to [`dscf_reference`], not merely close. Tests assert a
-/// max abs difference ≤ 1e-12; in practice it is 0.0.
+/// multiply–accumulate used here); the reversed block holds exact copies
+/// of the original bins; and the `a ≥ 0` half performs the same product
+/// expression and per-accumulator addition order (blocks ascending) as the
+/// reference — so the engine is bit-identical to [`dscf_reference`], not
+/// merely close. Tests assert a max abs difference ≤ 1e-12 and
+/// `tests/unit_stride.rs` pins exact equality; in practice it is 0.0.
 ///
 /// # Examples
 ///
@@ -497,11 +1065,11 @@ pub struct ScfEngine {
     params: ScfParams,
     plan: FftPlan,
     window_coeffs: Vec<f64>,
-    /// `plus[row·(M+1) + a] = centred_bin(f + a, K)` for `f = row - M`,
-    /// `a ∈ 0..=M`.
-    plus: Vec<u32>,
-    /// `minus[row·(M+1) + a] = centred_bin(f - a, K)`.
-    minus: Vec<u32>,
+    /// The flattened per-row run decomposition of the `a ≥ 0` half-grid;
+    /// row `r` owns `segments[row_bounds[r]..row_bounds[r+1]]`.
+    segments: Vec<RowSegment>,
+    /// `P + 1` offsets into `segments` delimiting each row's runs.
+    row_bounds: Vec<u32>,
 }
 
 /// Engines are equal iff their parameters are equal: every table is a pure
@@ -514,7 +1082,8 @@ impl PartialEq for ScfEngine {
 
 impl ScfEngine {
     /// Builds an engine for `params`, precomputing the FFT plan, window
-    /// coefficients and both half-grid index tables.
+    /// coefficients and the per-row segment decomposition of the `a ≥ 0`
+    /// half-grid.
     ///
     /// # Errors
     ///
@@ -528,20 +1097,39 @@ impl ScfEngine {
         let k = params.fft_len;
         let half = params.max_offset + 1;
         let p = params.grid_size();
-        let mut plus = Vec::with_capacity(p * half);
-        let mut minus = Vec::with_capacity(p * half);
+        // For row `f`, offset `a`: the direct operand is
+        // `block[(bin(f) + a) mod K]` and the conjugate operand is
+        // `rev[(bin(−f) + a) mod K]` (both advance by one per offset).
+        // Cut the row wherever either start-plus-offset reaches `K`; with
+        // `2M < K` at most one operand wraps per row, so rows decompose
+        // into at most two runs.
+        let mut segments = Vec::with_capacity(2 * p);
+        let mut row_bounds = Vec::with_capacity(p + 1);
+        row_bounds.push(0u32);
         for f in -m..=m {
-            for a in 0..=m {
-                plus.push(centred_bin(f + a, k) as u32);
-                minus.push(centred_bin(f - a, k) as u32);
+            let mut a = 0usize;
+            let mut plus = centred_bin(f, k);
+            let mut rev = centred_bin(-f, k);
+            while a < half {
+                let len = (half - a).min(k - plus).min(k - rev);
+                segments.push(RowSegment {
+                    out: a as u32,
+                    len: len as u32,
+                    plus: plus as u32,
+                    rev: rev as u32,
+                });
+                a += len;
+                plus = (plus + len) % k;
+                rev = (rev + len) % k;
             }
+            row_bounds.push(segments.len() as u32);
         }
         Ok(ScfEngine {
             params,
             plan,
             window_coeffs,
-            plus,
-            minus,
+            segments,
+            row_bounds,
         })
     }
 
@@ -612,12 +1200,18 @@ impl ScfEngine {
         let _span = accumulate_ns().start_timer();
         let m = self.params.max_offset;
         let p = self.params.grid_size();
-        let half = m + 1;
         let k = self.params.fft_len;
+        // Per-scale latency on top of the aggregate histogram, so wideband
+        // grids are visible separately (name lookup gated: formatting a
+        // dynamic instrument name is not free in the disabled default).
+        let _scale_span = if cfd_telemetry::enabled() {
+            Some(cfd_telemetry::histogram(&format!("dsp.scf.accumulate_ns.g{p}")).start_timer())
+        } else {
+            None
+        };
+        segment_runs().add((self.segments.len() * spectra.len()) as u64);
         if out.max_offset != m {
             *out = ScfMatrix::zeros(m);
-        } else {
-            out.values.fill(Cplx::ZERO);
         }
         for block in spectra {
             assert!(
@@ -625,43 +1219,116 @@ impl ScfEngine {
                 "block spectrum shorter ({}) than fft_len ({k})",
                 block.len()
             );
-            let block = &block[..k];
-            for row in 0..p {
-                let plus = &self.plus[row * half..(row + 1) * half];
-                let minus = &self.minus[row * half..(row + 1) * half];
-                let out_row = &mut out.values[row * p + m..row * p + m + half];
-                // Indexed loop with the real and imaginary accumulations
-                // split into two independent chains and no iterator-zip
-                // state for the optimiser to untangle. `f64::mul_add` was
-                // measured here and rejected: without FMA in the target
-                // feature set it lowers to a libm call per point (6× slower
-                // at the paper scale); the split plain-ops form
-                // autovectorizes and keeps every rounding step of the
-                // reference (`xp·conj(xm)` expands to exactly these four
-                // products and two single-rounded sums), preserving
-                // bit-identity with `dscf_reference`.
-                for i in 0..half {
-                    let xp = block[plus[i] as usize];
-                    let xm = block[minus[i] as usize];
-                    let re = xp.re * xm.re + xp.im * xm.im;
-                    let im = xp.im * xm.re - xp.re * xm.im;
-                    let acc = &mut out_row[i];
-                    acc.re += re;
-                    acc.im += im;
+        }
+        if spectra.is_empty() {
+            // The band finaliser below writes every cell, so zeroing is
+            // only needed when there is nothing to accumulate.
+            out.values.fill(Cplx::ZERO);
+            return;
+        }
+        SCF_SCRATCH.with(|scratch| {
+            self.accumulate_segments(spectra, &mut scratch.borrow_mut(), out);
+        });
+    }
+
+    /// The unit-stride accumulation kernel behind
+    /// [`ScfEngine::dscf_from_spectra_into`] (spectra pre-validated,
+    /// non-empty).
+    ///
+    /// Stages every block once into re/im-split planes — the direct copy
+    /// and the index-reversed copy `rev[t] = block[(K−t) mod K]` — then
+    /// runs the per-row segments as forward unit-stride passes over those
+    /// planes, cache-blocked so a band of accumulator rows stays resident
+    /// while each block streams through it. The staged values are exact
+    /// copies and the per-accumulator addition order is blocks-ascending
+    /// with the reference's product expression (four products, two
+    /// single-rounded sums — `f64::mul_add` was measured here in PR 4 and
+    /// rejected: without FMA in the target feature set it lowers to a libm
+    /// call per point, 6× slower), so the result is bit-identical to
+    /// [`dscf_reference`].
+    fn accumulate_segments(
+        &self,
+        spectra: &[Vec<Cplx>],
+        scratch: &mut ScfScratch,
+        out: &mut ScfMatrix,
+    ) {
+        let m = self.params.max_offset;
+        let p = self.params.grid_size();
+        let half = m + 1;
+        let k = self.params.fft_len;
+        let n = spectra.len();
+        {
+            let ScfScratch {
+                plus_re,
+                plus_im,
+                rev_re,
+                rev_im,
+                ..
+            } = scratch;
+            for plane in [&mut *plus_re, &mut *plus_im, &mut *rev_re, &mut *rev_im] {
+                plane.clear();
+                plane.resize(n * k, 0.0);
+            }
+            for (b, block) in spectra.iter().enumerate() {
+                let block = &block[..k];
+                let base = b * k;
+                for (t, value) in block.iter().enumerate() {
+                    plus_re[base + t] = value.re;
+                    plus_im[base + t] = value.im;
+                }
+                rev_re[base] = block[0].re;
+                rev_im[base] = block[0].im;
+                for t in 1..k {
+                    rev_re[base + t] = block[k - t].re;
+                    rev_im[base + t] = block[k - t].im;
                 }
             }
         }
-        if !spectra.is_empty() {
-            let scale = 1.0 / spectra.len() as f64;
-            for row_vals in out.values.chunks_exact_mut(p) {
-                for value in &mut row_vals[m..] {
-                    *value = *value * scale;
-                }
-                for a in 1..=m {
-                    row_vals[m - a] = row_vals[m + a].conj();
-                }
-            }
+        // Row-band × block cache blocking: the accumulator slab covers only
+        // one band of rows (~64 KiB across the re + im planes), stays hot
+        // while every staged block streams through it, and is normalised
+        // and mirrored into `out` before the next band reuses it — so the
+        // accumulator traffic never round-trips through memory at any grid
+        // size.
+        let band_rows = (4096 / half).clamp(4, 512).min(p);
+        for plane in [&mut scratch.acc_re, &mut scratch.acc_im] {
+            plane.clear();
+            plane.resize(band_rows * half, 0.0);
         }
+        scratch.row_buf.clear();
+        scratch.row_buf.resize(p, Cplx::ZERO);
+        let scale = 1.0 / n as f64;
+        let mut band_start = 0usize;
+        while band_start < p {
+            let band_end = (band_start + band_rows).min(p);
+            // No slab clearing: each row's segments tile `[0, half)`
+            // exactly, and the first pass of every segment writes through
+            // `seg_pass_init`.
+            accumulate_band(
+                &self.segments,
+                &self.row_bounds,
+                band_start..band_end,
+                half,
+                k,
+                scratch,
+            );
+            // Normalise and mirror the finished band: `out = acc/N` for
+            // `a ≥ 0`, conjugate for `a < 0` — the same single-rounded
+            // scaling the pre-segment kernel applied via `Cplx * f64`. Each
+            // row is assembled in an L1-hot staging buffer, then streamed
+            // into the (cold, write-once) output with wide non-temporal
+            // copies.
+            for row in band_start..band_end {
+                let local = (row - band_start) * half;
+                let ar = &scratch.acc_re[local..][..half];
+                let ai = &scratch.acc_im[local..][..half];
+                finalize_row_scalar(&mut scratch.row_buf, ar, ai, m, scale);
+                let row_vals = &mut out.values[row * p..(row + 1) * p];
+                copy_row_out(row_vals, &scratch.row_buf);
+            }
+            band_start = band_end;
+        }
+        finalize_fence();
     }
 
     /// Full evaluation (spectra + eq. 3) into an existing matrix, reusing

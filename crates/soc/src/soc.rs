@@ -14,17 +14,25 @@
 //! * **threaded** — one thread per tile, inter-tile streams carried by
 //!   crossbeam channels;
 //! * **analytic** — the fast path: no sequencer, ALU or register-file
-//!   machinery is stepped at all. Each tile's folded accumulation runs over
-//!   `centred_bin` index tables precomputed from its [`TileTaskSet`] at
-//!   configure time, and the cycle/transfer/source counters come from the
-//!   closed-form model ([`montium_sim::kernels::analytic_step_cycles`] plus
-//!   the deterministic per-block stream volumes) — every counter the
-//!   simulation would have produced, without the per-cycle walk. The DSCF
-//!   is bit-identical and the counters equal (pinned by
-//!   `tests/soc_fast_path.rs`). [`TiledSoc::run_from_spectra`] additionally
-//!   accepts externally computed block spectra, so sweep engines that
-//!   already share spectra across detector replicas feed them straight into
-//!   the correlator — one FFT per trial for the whole roster.
+//!   machinery is stepped at all. Each tile's folded accumulation is
+//!   decomposed at configure time into the contiguous runs on which both
+//!   spectral operands advance at unit stride (they are consecutive modulo
+//!   `K`), and executed as slice passes through the `cfd-dsp` engine's
+//!   SIMD-dispatched MAC kernel over staged SoA spectrum planes; the
+//!   cycle/transfer/source counters come from the closed-form model
+//!   ([`montium_sim::kernels::analytic_step_cycles`] plus the
+//!   deterministic per-block stream volumes) — every counter the
+//!   simulation would have produced, without the per-cycle walk. Tiles are
+//!   independent until the final gather, so the accumulation optionally
+//!   fans out over a scoped worker pool
+//!   ([`crate::config::SocConfig::analytic_threads`], capped by the
+//!   process-wide [`analytic_thread_budget`]) with bit-identical results
+//!   at every thread count. The DSCF is bit-identical to the simulating
+//!   modes and the counters equal (pinned by `tests/soc_fast_path.rs`).
+//!   [`TiledSoc::run_from_spectra`] additionally accepts externally
+//!   computed block spectra, so sweep engines that already share spectra
+//!   across detector replicas feed them straight into the correlator — one
+//!   FFT per trial for the whole roster.
 
 use crate::config::{ExecutionMode, SocConfig};
 use crate::error::SocError;
@@ -51,6 +59,7 @@ struct SocInstruments {
     runs_spectra_fed: cfd_telemetry::Counter,
     critical_cycles: cfd_telemetry::Gauge,
     energy_per_block_uj: cfd_telemetry::Gauge,
+    analytic_threads: cfd_telemetry::Gauge,
 }
 
 fn instruments() -> &'static SocInstruments {
@@ -64,7 +73,28 @@ fn instruments() -> &'static SocInstruments {
         runs_spectra_fed: cfd_telemetry::counter("soc.runs.spectra_fed"),
         critical_cycles: cfd_telemetry::gauge("soc.run.critical_cycles"),
         energy_per_block_uj: cfd_telemetry::gauge("soc.run.energy_per_block_uj"),
+        analytic_threads: cfd_telemetry::gauge("soc.analytic.threads"),
     })
+}
+
+/// Process-wide cap on the analytic fast path's worker threads, shared by
+/// every [`TiledSoc`] in the process. Sweep engines that already fan
+/// trials over worker threads lower this before building their detector
+/// replicas so `sweep workers × SoC threads` never oversubscribes the
+/// host; the default (`usize::MAX`) leaves [`SocConfig::analytic_threads`]
+/// in sole control. Stored with a floor of 1 — a budget can throttle the
+/// fan-out to serial, never forbid the accumulation itself.
+static ANALYTIC_THREAD_BUDGET: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(usize::MAX);
+
+/// Sets the process-wide analytic worker-thread budget (clamped to ≥ 1).
+pub fn set_analytic_thread_budget(threads: usize) {
+    ANALYTIC_THREAD_BUDGET.store(threads.max(1), std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The current process-wide analytic worker-thread budget.
+pub fn analytic_thread_budget() -> usize {
+    ANALYTIC_THREAD_BUDGET.load(std::sync::atomic::Ordering::Relaxed)
 }
 use montium_sim::kernels::{analytic_step_cycles, IntegrationStepCycles, TileTaskSet};
 use montium_sim::MontiumConfig;
@@ -105,28 +135,62 @@ impl SocRun {
     }
 }
 
+/// One contiguous run of a task row's folded accumulation: for
+/// `i ∈ 0..len`, accumulator `acc[j·F + out + i]` takes
+/// `X[plus + i] · conj(X[minus + i])` — both operands advance through the
+/// spectrum at unit stride.
+#[derive(Debug, Clone, Copy)]
+struct TileSegment {
+    /// First frequency step of the run within the task row.
+    out: u32,
+    /// Steps in the run.
+    len: u32,
+    /// Spectral bin of the direct operand at the first step.
+    plus: u32,
+    /// Spectral bin of the conjugated operand at the first step.
+    minus: u32,
+}
+
 /// The precomputed fast path of one tile, derived from its [`TileTaskSet`]
 /// when the platform is configured.
 ///
 /// The folded multiply–accumulate of Fig. 11 touches, for local task `j`
 /// at frequency step `s`, the spectral bins `f + a` (direct flow) and
 /// `f − a` (conjugate flow) with `f = s − M`, `a = first_task + j − M` —
-/// pure geometry. Both `centred_bin` lookups are tabulated once, so an
-/// integration step is a straight row-major multiply–accumulate over a
-/// flat slab (the PR-3 `ScfEngine` technique applied to the tile's task
-/// slice), and the product `X_{f+a} · conj(X_{f−a})` is the exact
-/// expression the tile ALU evaluates — which is what makes the fast path
-/// bit-identical to the simulation.
+/// pure geometry, and both index sequences are *consecutive modulo `K`*
+/// in `s`. Instead of tabulating every `centred_bin` lookup (the PR-5
+/// gather tables), each task row is decomposed once into the at most
+/// three maximal runs on which neither operand wraps, so an integration
+/// step becomes unit-stride slice passes through the shared
+/// [`cfd_dsp::scf::mac_segment_blocks`] kernel over split re/im planes —
+/// the engine's own SIMD-dispatched accumulation applied to the tile's
+/// task slice. The arithmetic per point is the exact split form of
+/// `X_{f+a} · conj(X_{f−a})` the tile ALU evaluates, blocks strictly
+/// ascending per accumulator, which is what keeps the fast path
+/// bit-identical to the simulation at any thread count.
 #[derive(Debug)]
 struct AnalyticTile {
     /// First task of this tile in the initial array (the DSCF column base).
     first_task: usize,
-    /// Spectral index of the direct operand: `plus[j·F + s] = bin(f + a)`.
-    plus: Vec<u32>,
-    /// Spectral index of the conjugated operand: `minus[j·F + s] = bin(f − a)`.
-    minus: Vec<u32>,
-    /// Unnormalised accumulators `acc[j·F + s]`, mirroring M01–M08.
-    acc: Vec<Cplx>,
+    /// Tasks that compute on this tile (0 for an idle tile of an uneven
+    /// folding — no segments, nothing to accumulate).
+    active_tasks: usize,
+    /// Frequency steps per block, `F = 2M + 1`.
+    f_count: usize,
+    /// The wrap-cut runs of all task rows, row-major.
+    segments: Vec<TileSegment>,
+    /// `row_bounds[j]..row_bounds[j + 1]` indexes row `j`'s segments.
+    row_bounds: Vec<u32>,
+    /// Unnormalised accumulators `acc[j·F + s]` (real parts), mirroring
+    /// M01–M08.
+    acc_re: Vec<f64>,
+    /// Imaginary parts of the accumulators.
+    acc_im: Vec<f64>,
+    /// Lazy reset: instead of streaming zeros through the (megabytes at
+    /// wideband scales) accumulator slab, [`TiledSoc::reset`] raises this
+    /// flag and the next accumulation's first pass *writes* through the
+    /// init chain — bitwise identical to accumulating onto zeroed memory.
+    needs_clear: bool,
     /// The closed-form per-block cycle breakdown of this tile.
     step: IntegrationStepCycles,
 }
@@ -136,27 +200,71 @@ impl AnalyticTile {
         let f_count = task_set.num_frequencies();
         let t = task_set.active_tasks;
         let k = task_set.fft_len;
-        let mut plus = Vec::with_capacity(t * f_count);
-        let mut minus = Vec::with_capacity(t * f_count);
+        let mut segments = Vec::with_capacity(3 * t);
+        let mut row_bounds = Vec::with_capacity(t + 1);
+        row_bounds.push(0u32);
         for j in 0..t {
-            for s in 0..f_count {
-                plus.push(centred_bin(task_set.direct_index(j, s), k) as u32);
-                minus.push(centred_bin(task_set.conjugate_index(j, s), k) as u32);
+            // Cut the row wherever either operand's bin sequence wraps
+            // past K: within a run both are consecutive, so only the
+            // first step of each run needs a `centred_bin`.
+            let mut s = 0usize;
+            while s < f_count {
+                let plus = centred_bin(task_set.direct_index(j, s), k);
+                let minus = centred_bin(task_set.conjugate_index(j, s), k);
+                let len = (k - plus).min(k - minus).min(f_count - s);
+                segments.push(TileSegment {
+                    out: s as u32,
+                    len: len as u32,
+                    plus: plus as u32,
+                    minus: minus as u32,
+                });
+                s += len;
             }
+            row_bounds.push(segments.len() as u32);
         }
         AnalyticTile {
             first_task: task_set.first_task,
-            plus,
-            minus,
-            acc: vec![Cplx::ZERO; t * f_count],
+            active_tasks: t,
+            f_count,
+            segments,
+            row_bounds,
+            acc_re: vec![0.0; t * f_count],
+            acc_im: vec![0.0; t * f_count],
+            needs_clear: false,
             step: analytic_step_cycles(config, task_set),
         }
     }
 
-    /// One integration step of this tile's task slice.
-    fn accumulate_block(&mut self, spectrum: &[Cplx]) {
-        for ((acc, &ip), &im) in self.acc.iter_mut().zip(&self.plus).zip(&self.minus) {
-            *acc += spectrum[ip as usize] * spectrum[im as usize].conj();
+    /// Accumulates every staged block (SoA spectrum planes of
+    /// `spec_re.len() / k` blocks) into this tile's task slice. After a
+    /// lazy reset the first pass writes instead of accumulating (same
+    /// bits, no clearing traffic); with zero staged blocks nothing runs
+    /// and a pending clear stays pending.
+    fn accumulate_blocks(&mut self, spec_re: &[f64], spec_im: &[f64], k: usize) {
+        if spec_re.len() < k {
+            return;
+        }
+        let init = self.needs_clear;
+        self.needs_clear = false;
+        for j in 0..self.active_tasks {
+            let base = j * self.f_count;
+            let bounds = self.row_bounds[j] as usize..self.row_bounds[j + 1] as usize;
+            for seg in &self.segments[bounds] {
+                let ar = &mut self.acc_re[base + seg.out as usize..][..seg.len as usize];
+                let ai = &mut self.acc_im[base + seg.out as usize..][..seg.len as usize];
+                cfd_dsp::scf::mac_segment_blocks(
+                    ar,
+                    ai,
+                    spec_re,
+                    spec_im,
+                    spec_re,
+                    spec_im,
+                    k,
+                    seg.plus as usize,
+                    seg.minus as usize,
+                    init,
+                );
+            }
         }
     }
 
@@ -191,6 +299,12 @@ pub struct TiledSoc {
     blocks_analytic: usize,
     /// Reusable FFT buffer of the analytic `run` front-end.
     fft_scratch: Vec<Cplx>,
+    /// Staged real parts of the current run's block spectra (SoA planes of
+    /// `blocks × fft_len`, reused across runs) — the unit-stride operands
+    /// of the analytic accumulation.
+    spec_re: Vec<f64>,
+    /// Staged imaginary parts of the block spectra.
+    spec_im: Vec<f64>,
     inter_tile_transfers: u64,
     source_inputs: u64,
     configurations: u64,
@@ -241,6 +355,8 @@ impl TiledSoc {
             blocks_simulated: 0,
             blocks_analytic: 0,
             fft_scratch: Vec::with_capacity(fft_len),
+            spec_re: Vec::new(),
+            spec_im: Vec::new(),
             inter_tile_transfers: 0,
             source_inputs: 0,
             configurations: 1,
@@ -341,12 +457,22 @@ impl TiledSoc {
             ExecutionMode::Threaded => instruments.runs_threaded.increment(),
             ExecutionMode::Analytic => instruments.runs_analytic.increment(),
         }
-        for block in 0..num_blocks {
-            let samples = &signal[block * self.fft_len..(block + 1) * self.fft_len];
-            match self.config.mode {
-                ExecutionMode::Lockstep => self.run_block_lockstep(samples)?,
-                ExecutionMode::Threaded => self.run_block_threaded(samples)?,
-                ExecutionMode::Analytic => self.run_block_analytic(samples)?,
+        if self.config.mode == ExecutionMode::Analytic {
+            // The fast path stages every block spectrum first (shared-plan
+            // FFTs, split into SoA planes), then fans the per-tile
+            // accumulation over the worker pool in one go — the same
+            // result block-by-block accumulation would produce, since each
+            // tile still consumes the blocks in ascending order.
+            self.stage_signal_spectra(signal, num_blocks)?;
+            self.accumulate_staged(num_blocks);
+        } else {
+            for block in 0..num_blocks {
+                let samples = &signal[block * self.fft_len..(block + 1) * self.fft_len];
+                match self.config.mode {
+                    ExecutionMode::Lockstep => self.run_block_lockstep(samples)?,
+                    ExecutionMode::Threaded => self.run_block_threaded(samples)?,
+                    ExecutionMode::Analytic => unreachable!("handled above"),
+                }
             }
         }
         self.fill_run(num_blocks, out)?;
@@ -412,9 +538,8 @@ impl TiledSoc {
                 }));
             }
         }
-        for block in spectra {
-            self.accumulate_spectrum_block(block);
-        }
+        self.stage_spectra(spectra);
+        self.accumulate_staged(spectra.len());
         self.fill_run(spectra.len(), out)
     }
 
@@ -442,7 +567,7 @@ impl TiledSoc {
             tile.reset();
         }
         for fast in &mut self.analytic {
-            fast.acc.fill(Cplx::ZERO);
+            fast.needs_clear = true;
         }
         self.blocks_simulated = 0;
         self.blocks_analytic = 0;
@@ -469,36 +594,110 @@ impl TiledSoc {
         Ok(())
     }
 
-    /// One analytic integration step from raw samples: the shared-plan FFT
-    /// front-end followed by the fast correlation. (A Q15 platform cannot
-    /// reach this path — construction refuses the combination.)
-    fn run_block_analytic(&mut self, samples: &[Cplx]) -> Result<(), SocError> {
-        let plan = cached_plan(self.fft_len).map_err(SocError::Dsp)?;
-        self.fft_scratch.clear();
-        self.fft_scratch.extend_from_slice(samples);
-        plan.forward_in_place(&mut self.fft_scratch)
-            .map_err(SocError::Dsp)?;
-        let spectrum = std::mem::take(&mut self.fft_scratch);
-        self.accumulate_spectrum_block(&spectrum);
-        self.fft_scratch = spectrum;
+    /// Stages the spectra of `num_blocks` consecutive signal blocks into
+    /// the SoA operand planes: the shared-plan FFT front-end of the
+    /// analytic path. (A Q15 platform cannot reach this path —
+    /// construction refuses the combination.)
+    fn stage_signal_spectra(&mut self, signal: &[Cplx], num_blocks: usize) -> Result<(), SocError> {
+        let k = self.fft_len;
+        let plan = cached_plan(k).map_err(SocError::Dsp)?;
+        for plane in [&mut self.spec_re, &mut self.spec_im] {
+            plane.clear();
+            plane.resize(num_blocks * k, 0.0);
+        }
+        for block in 0..num_blocks {
+            self.fft_scratch.clear();
+            self.fft_scratch
+                .extend_from_slice(&signal[block * k..(block + 1) * k]);
+            plan.forward_in_place(&mut self.fft_scratch)
+                .map_err(SocError::Dsp)?;
+            let base = block * k;
+            for (t, value) in self.fft_scratch.iter().enumerate() {
+                self.spec_re[base + t] = value.re;
+                self.spec_im[base + t] = value.im;
+            }
+        }
         Ok(())
     }
 
-    /// Accumulates one block spectrum into every tile's fast path and
+    /// Stages externally computed block spectra into the SoA operand
+    /// planes (lengths already validated by the caller).
+    fn stage_spectra(&mut self, spectra: &[Vec<Cplx>]) {
+        let k = self.fft_len;
+        for plane in [&mut self.spec_re, &mut self.spec_im] {
+            plane.clear();
+            plane.resize(spectra.len() * k, 0.0);
+        }
+        for (block, spectrum) in spectra.iter().enumerate() {
+            let base = block * k;
+            for (t, value) in spectrum.iter().enumerate() {
+                self.spec_re[base + t] = value.re;
+                self.spec_im[base + t] = value.im;
+            }
+        }
+    }
+
+    /// The worker count the next analytic accumulation will actually use:
+    /// the configured request (`0` = one per available core), capped by
+    /// the process-wide [`analytic_thread_budget`] and the tile count.
+    fn effective_analytic_threads(&self) -> usize {
+        let requested = match self.config.analytic_threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        };
+        requested
+            .min(analytic_thread_budget())
+            .min(self.analytic.len())
+            .max(1)
+    }
+
+    /// Accumulates every staged block into every tile's fast path and
     /// advances the deterministic platform counters: per block, each of the
     /// `Q − 1` internal boundaries carries one word per flow per frequency
     /// step except the last (`2·(Q−1)·(F−1)` transfers), and the FFT source
     /// feeds both array ends once per shift (`2·(F−1)` inputs) — the same
     /// volumes the links and source taps of the simulation count.
-    fn accumulate_spectrum_block(&mut self, spectrum: &[Cplx]) {
-        for fast in &mut self.analytic {
-            fast.accumulate_block(spectrum);
+    ///
+    /// With more than one effective worker the tiles fan out over a scoped
+    /// thread pool; tiles own disjoint accumulator slabs and each consumes
+    /// the blocks in the same ascending order as the serial path, so every
+    /// thread count produces bit-identical results.
+    fn accumulate_staged(&mut self, blocks: usize) {
+        let threads = self.effective_analytic_threads();
+        instruments().analytic_threads.set(threads as f64);
+        let k = self.fft_len;
+        {
+            let TiledSoc {
+                analytic,
+                spec_re,
+                spec_im,
+                ..
+            } = self;
+            let (spec_re, spec_im) = (&spec_re[..], &spec_im[..]);
+            if threads <= 1 {
+                for tile in analytic.iter_mut() {
+                    tile.accumulate_blocks(spec_re, spec_im, k);
+                }
+            } else {
+                let chunk = analytic.len().div_ceil(threads);
+                std::thread::scope(|scope| {
+                    for tiles in analytic.chunks_mut(chunk) {
+                        scope.spawn(move || {
+                            for tile in tiles {
+                                tile.accumulate_blocks(spec_re, spec_im, k);
+                            }
+                        });
+                    }
+                });
+            }
         }
         let f_count = (2 * self.max_offset + 1) as u64;
         let boundaries = (self.tiles.len() as u64).saturating_sub(1);
-        self.inter_tile_transfers += 2 * boundaries * (f_count - 1);
-        self.source_inputs += 2 * (f_count - 1);
-        self.blocks_analytic += 1;
+        self.inter_tile_transfers += blocks as u64 * 2 * boundaries * (f_count - 1);
+        self.source_inputs += blocks as u64 * 2 * (f_count - 1);
+        self.blocks_analytic += blocks;
     }
 
     /// Assembles the [`SocRun`] of the path that accumulated since the last
@@ -705,19 +904,24 @@ impl TiledSoc {
         let p = 2 * self.max_offset + 1;
         if matrix.max_offset() != self.max_offset {
             *matrix = ScfMatrix::zeros(self.max_offset);
-        } else {
+        } else if self.blocks_analytic == 0 {
+            // The analytic gather writes every cell exactly once (the
+            // tiles' task slices tile the `P` columns and each holds every
+            // row), so pre-clearing the matrix would only stream an extra
+            // `P²` complex zeros through memory. The simulated path keeps
+            // the clear: an errored tile readback must not leave stale
+            // values behind.
             matrix.as_mut_slice().fill(Cplx::ZERO);
         }
         let values = matrix.as_mut_slice();
         if self.blocks_analytic > 0 {
             let norm = 1.0 / self.blocks_analytic as f64;
             for fast in &self.analytic {
-                for (j, row) in fast.acc.chunks_exact(p).enumerate() {
-                    let col = fast.first_task + j;
-                    for (s, &value) in row.iter().enumerate() {
-                        values[s * p + col] = value * norm;
-                    }
-                }
+                // Non-temporal stores were measured here and regressed
+                // ~1.7× on this class of host: the transposing scatter
+                // keeps 8+ store streams live and write-combining buffers
+                // drain partial lines. Plain blocked stores win.
+                scatter_tile_blocked(values, fast, p, norm);
             }
         } else {
             for tile in &mut self.tiles {
@@ -733,6 +937,29 @@ impl TiledSoc {
             }
         }
         Ok(())
+    }
+}
+
+/// Scatters one tile's normalised accumulators into the output matrix
+/// through a cache-blocked transpose: a task row is contiguous in the tile
+/// slab but lands strided by `P` in the output, so at wideband scales a
+/// straight per-task sweep would touch a new output cache line on every
+/// write. Processing a window of output rows at a time keeps the strided
+/// side resident while the slab reads stay unit-stride.
+fn scatter_tile_blocked(values: &mut [Cplx], fast: &AnalyticTile, p: usize, norm: f64) {
+    let f = fast.f_count;
+    let mut s0 = 0usize;
+    while s0 < f {
+        let s1 = (s0 + 64).min(f);
+        for j in 0..fast.active_tasks {
+            let col = fast.first_task + j;
+            let re = &fast.acc_re[j * f..][..f];
+            let im = &fast.acc_im[j * f..][..f];
+            for s in s0..s1 {
+                values[s * p + col] = Cplx::new(re[s] * norm, im[s] * norm);
+            }
+        }
+        s0 = s1;
     }
 }
 
