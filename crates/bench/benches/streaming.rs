@@ -1,0 +1,100 @@
+//! Criterion bench of the incremental sliding-window DSCF (PR 8): the
+//! steady-state cost of one streamed decision through a
+//! [`StreamingSensor`] versus the batch path re-deciding every window
+//! from scratch, at the paper's 127×127/8 scale and the wideband
+//! 511×511/8 scale.
+//!
+//! Three rows per scale:
+//!
+//! * `batch_*` — the batch [`CyclostationaryDetector`] deciding on one
+//!   full window (window FFTs + window accumulate passes + finalize),
+//!   the cost a non-streaming caller pays per hop;
+//! * `incremental_*` — a warm sensor pushed exactly one hop of samples
+//!   (1 FFT + fused add/retire + per-column re-base + finalize), the
+//!   rolling fast path. The refresh interval is pushed out of the
+//!   measured horizon so every iteration takes the incremental branch;
+//! * `refresh_*` — the same warm sensor with `R = 1`, so every hop pays
+//!   the exact re-accumulation: the bounded worst case a caller sees
+//!   once per refresh interval.
+//!
+//! The `incremental / batch` quotient is the headline of the PR (the
+//! acceptance bar is ≥ 4× at 127×127/8); the measured numbers are
+//! recorded in README.md and spliced into `BENCH_sweeps.json` by
+//! `section5_evaluation` as the `streaming` object the perf gate diffs.
+
+use cfd_core::backend::{Observation, SensingBackend};
+use cfd_core::stream::{StreamingConfig, StreamingSensor};
+use cfd_dsp::detector::CyclostationaryDetector;
+use cfd_dsp::scf::ScfParams;
+use cfd_dsp::signal::awgn;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// The benched geometries: the paper's grid and the wideband scale, both
+/// at 8 integration steps with the default back-to-back hop.
+const SCALES: [(&str, usize, usize); 2] = [("127x127", 256, 63), ("511x511", 1024, 255)];
+
+/// A warm sensor one hop away from its next decision, with enough signal
+/// queued to push one hop per iteration for the whole measurement.
+fn warm_sensor(
+    params: &ScfParams,
+    refresh: usize,
+) -> (
+    StreamingSensor<CyclostationaryDetector>,
+    Vec<cfd_dsp::complex::Cplx>,
+) {
+    let config = StreamingConfig::new(params.clone()).with_refresh_interval(refresh);
+    let detector = CyclostationaryDetector::new(params.clone(), 0.35, 1).unwrap();
+    let mut sensor = StreamingSensor::new(config, detector).unwrap();
+    // Warm-up: a full window primes the ring and emits the d = 0 decision
+    // (always an exact refresh), leaving every measured hop in steady state.
+    sensor.push(&awgn(params.samples_needed(), 1.0, 8)).unwrap();
+    assert_eq!(sensor.decisions_emitted(), 1);
+    let hop = awgn(params.block_stride, 1.0, 9);
+    (sensor, hop)
+}
+
+fn bench_streaming_decide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_decide");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for (label, fft_len, max_offset) in SCALES {
+        let params = ScfParams::new(fft_len, max_offset, 8).unwrap();
+        let signal = awgn(params.samples_needed(), 1.0, 8);
+
+        group.bench_function(format!("batch_{label}_8blocks"), |b| {
+            let mut detector = CyclostationaryDetector::new(params.clone(), 0.35, 1).unwrap();
+            let mut observation = Observation::new();
+            b.iter(|| {
+                observation.load(&signal);
+                detector.decide(&mut observation).unwrap()
+            });
+        });
+
+        group.bench_function(format!("incremental_{label}_8blocks"), |b| {
+            let (mut sensor, hop) = warm_sensor(&params, usize::MAX);
+            let mut out = Vec::with_capacity(1);
+            b.iter(|| {
+                out.clear();
+                sensor.push_into(&hop, &mut out).unwrap();
+                debug_assert_eq!(out.len(), 1);
+            });
+        });
+
+        group.bench_function(format!("refresh_{label}_8blocks"), |b| {
+            let (mut sensor, hop) = warm_sensor(&params, 1);
+            let mut out = Vec::with_capacity(1);
+            b.iter(|| {
+                out.clear();
+                sensor.push_into(&hop, &mut out).unwrap();
+                debug_assert_eq!(out.len(), 1);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_decide);
+criterion_main!(benches);

@@ -238,24 +238,90 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         kernel_timings.push((format!("soc_analytic_{label}_8blocks_seconds"), best));
     }
 
+    header("Streaming sensor: per-decision cost, batch window vs incremental hop (PR 8)");
+    // The incremental sliding-window DSCF at the paper's grid and the
+    // wideband scale: the batch path re-decides each window from scratch
+    // (window FFTs + window accumulate passes), the warm sensor pays one
+    // FFT + fused add/retire + re-base per hop. Timed through telemetry
+    // spans (min of 3 batches) so the same numbers land in the metrics
+    // snapshot; the quotient is the PR's headline (acceptance ≥ 4× at
+    // 127×127/8).
+    let mut streaming_timings: Vec<(String, f64)> = Vec::new();
+    for (label, fft_len, max_offset) in [("127x127", 256usize, 63usize), ("511x511", 1024, 255)] {
+        let params = cfd_dsp::scf::ScfParams::new(fft_len, max_offset, 8)?;
+        let window = awgn(params.samples_needed(), 1.0, 8);
+        let hops = 8usize; // decisions per timed batch, both paths
+
+        let mut detector =
+            cfd_dsp::detector::CyclostationaryDetector::new(params.clone(), 0.35, 1)?;
+        let mut observation = Observation::new();
+        let mut batch_best = f64::INFINITY;
+        for _ in 0..3 {
+            let timer =
+                cfd_telemetry::histogram(&format!("bench.section5.stream_batch_{label}_ns"))
+                    .start_timer();
+            for _ in 0..hops {
+                observation.load(&window);
+                detector.decide(&mut observation)?;
+            }
+            let nanos = timer.stop().expect("telemetry is enabled in this binary");
+            batch_best = batch_best.min(nanos as f64 / 1e9 / hops as f64);
+        }
+
+        let config = StreamingConfig::new(params.clone()).with_refresh_interval(usize::MAX);
+        let backend = cfd_dsp::detector::CyclostationaryDetector::new(params.clone(), 0.35, 1)?;
+        let mut sensor = StreamingSensor::new(config, backend)?;
+        sensor.push(&window)?; // warm-up: d = 0 refresh decision
+        let hop = awgn(params.block_stride, 1.0, 9);
+        let mut decisions = Vec::with_capacity(1);
+        let mut incremental_best = f64::INFINITY;
+        for _ in 0..3 {
+            let timer =
+                cfd_telemetry::histogram(&format!("bench.section5.stream_incremental_{label}_ns"))
+                    .start_timer();
+            for _ in 0..hops {
+                decisions.clear();
+                sensor.push_into(&hop, &mut decisions)?;
+            }
+            let nanos = timer.stop().expect("telemetry is enabled in this binary");
+            incremental_best = incremental_best.min(nanos as f64 / 1e9 / hops as f64);
+        }
+        let stream_speedup = batch_best / incremental_best.max(f64::MIN_POSITIVE);
+        println!(
+            "{label:<11} batch {:9.1} us/decision  incremental {:8.1} us/decision  ({stream_speedup:.1}x)",
+            batch_best * 1e6,
+            incremental_best * 1e6
+        );
+        streaming_timings.push((format!("batch_{label}_8blocks_seconds"), batch_best));
+        streaming_timings.push((
+            format!("incremental_{label}_8blocks_seconds"),
+            incremental_best,
+        ));
+        streaming_timings.push((format!("speedup_{label}"), stream_speedup));
+    }
+
     if let Some(path) = &paths.bench_json {
-        // Splice the platform-path timing and the wideband kernel timings
-        // into the RocTable document so the uploaded BENCH_sweeps.json
-        // tracks the Pd/Pfa trajectory, the SoC sweep cost and the
-        // large-grid kernel cost per commit.
+        // Splice the platform-path timing, the wideband kernel timings and
+        // the streaming per-decision timings into the RocTable document so
+        // the uploaded BENCH_sweeps.json tracks the Pd/Pfa trajectory, the
+        // SoC sweep cost and the kernel/streaming cost per commit.
         let rows = table.to_json();
         let rows = rows
             .strip_suffix('}')
             .expect("RocTable::to_json emits an object");
-        let kernels = kernel_timings
-            .iter()
-            .map(|(key, seconds)| format!("\"{key}\":{seconds}"))
-            .collect::<Vec<_>>()
-            .join(",");
+        let join = |timings: &[(String, f64)]| {
+            timings
+                .iter()
+                .map(|(key, seconds)| format!("\"{key}\":{seconds}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let kernels = join(&kernel_timings);
+        let streaming = join(&streaming_timings);
         let json = format!(
             "{rows},\"soc_sweep\":{{\"analytic_seconds\":{analytic_seconds},\
              \"lockstep_seconds\":{lockstep_seconds},\"speedup\":{speedup}}},\
-             \"kernels\":{{{kernels}}}}}"
+             \"kernels\":{{{kernels}}},\"streaming\":{{{streaming}}}}}"
         );
         std::fs::write(path, json)?;
         println!(

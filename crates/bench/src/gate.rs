@@ -159,16 +159,21 @@ pub fn timing_metrics(document: &JsonValue) -> Vec<(String, f64)> {
             metrics.push((format!("soc_sweep.{field}"), value));
         }
     }
-    // Wideband kernel timings spliced in by `section5_evaluation` (every
-    // `_seconds` field under `kernels`): new scales appear as new keys,
-    // which the comparison reports as notes, not failures.
-    if let Some(kernels) = document.get("kernels").and_then(JsonValue::as_object) {
-        for (name, value) in kernels {
-            if !name.ends_with("_seconds") {
-                continue;
-            }
-            if let Some(seconds) = value.as_f64() {
-                metrics.push((format!("kernels.{name}"), seconds));
+    // Wideband kernel and streaming-sensor timings spliced in by
+    // `section5_evaluation` (every `_seconds` field under `kernels` and
+    // `streaming`): new scales appear as new keys, which the comparison
+    // reports as notes, not failures. Non-`_seconds` fields (speedup
+    // quotients, iteration counts) are higher-is-better or descriptive
+    // and stay ungated.
+    for section in ["kernels", "streaming"] {
+        if let Some(timings) = document.get(section).and_then(JsonValue::as_object) {
+            for (name, value) in timings {
+                if !name.ends_with("_seconds") {
+                    continue;
+                }
+                if let Some(seconds) = value.as_f64() {
+                    metrics.push((format!("{section}.{name}"), seconds));
+                }
             }
         }
     }
@@ -351,6 +356,62 @@ mod tests {
             .iter()
             .any(|note| note.contains("kernels.dscf_511x511_8blocks_seconds")
                 && note.contains("is new")));
+    }
+
+    fn streaming_doc(incremental: f64) -> String {
+        format!(
+            "{{\"schema\":2,\"rows\":[],\"streaming\":{{\
+             \"batch_127x127_8blocks_seconds\":0.0009,\
+             \"incremental_127x127_8blocks_seconds\":{incremental},\
+             \"speedup_127x127\":4.5}}}}"
+        )
+    }
+
+    #[test]
+    fn gates_spliced_streaming_seconds() {
+        // The `_seconds` fields under `streaming` are gated exactly like
+        // the kernel timings; the speedup quotient (higher is better) is
+        // not.
+        let report = compare_documents(
+            &streaming_doc(0.0002),
+            &streaming_doc(0.0003),
+            DEFAULT_TOLERANCE,
+        )
+        .unwrap();
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 2);
+        assert!(report
+            .checks
+            .iter()
+            .any(|check| check.metric == "streaming.incremental_127x127_8blocks_seconds"));
+        assert!(!report
+            .checks
+            .iter()
+            .any(|check| check.metric.contains("speedup")));
+        let report = compare_documents(
+            &streaming_doc(0.0002),
+            &streaming_doc(0.001),
+            DEFAULT_TOLERANCE,
+        )
+        .unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.regressions().len(), 1);
+    }
+
+    #[test]
+    fn new_streaming_keys_pass_with_a_note() {
+        // The PR introducing the `streaming` object diffs against an
+        // artefact without it: every key is a note, never a failure.
+        let report = compare_documents(
+            &sweeps_doc(1.0, 1.0),
+            &streaming_doc(0.0002),
+            DEFAULT_TOLERANCE,
+        )
+        .unwrap();
+        assert!(report.passed());
+        assert!(report.notes.iter().any(|note| note
+            .contains("streaming.incremental_127x127_8blocks_seconds")
+            && note.contains("is new")));
     }
 
     #[test]

@@ -96,25 +96,10 @@ fn instruments() -> &'static ObservationInstruments {
     })
 }
 
-/// Total number of block-spectra computations performed by [`Observation`]
-/// caches since process start, across all threads.
-///
-/// This exists so tests can pin the sweep engine's contract — spectra are
-/// computed **once per trial**, not once per backend replica — by measuring
-/// the delta around a sweep. It is monotone and global; measure deltas in
-/// isolation (other concurrent sweeps also increment it).
-#[deprecated(
-    since = "0.1.0",
-    note = "read the `core.observation.spectra_computations` counter from \
-            `cfd_telemetry::registry()` instead"
-)]
-pub fn spectra_computations() -> u64 {
-    instruments().spectra_computations.value()
-}
-
-/// One per-[`ScfParams`] cache slot: the block spectra and the DSCF matrix,
-/// plus validity flags for the current samples. The allocations persist
-/// across observations; only the flags are reset.
+/// One per-[`ScfParams`] cache slot: the block spectra, the DSCF matrix
+/// and its cyclic-domain profile, plus validity flags for the current
+/// samples. The allocations persist across observations; only the flags
+/// are reset.
 #[derive(Debug)]
 struct CachedSpectra {
     params: ScfParams,
@@ -122,6 +107,8 @@ struct CachedSpectra {
     spectra_valid: bool,
     scf: ScfMatrix,
     scf_valid: bool,
+    profile: Vec<f64>,
+    profile_valid: bool,
 }
 
 /// One observation: the raw samples plus lazily computed, cached block
@@ -168,6 +155,7 @@ struct CachedSpectra {
 pub struct Observation {
     samples: Vec<Cplx>,
     entries: Vec<CachedSpectra>,
+    scf_requests: u64,
 }
 
 impl Observation {
@@ -182,6 +170,7 @@ impl Observation {
         Observation {
             samples,
             entries: Vec::new(),
+            scf_requests: 0,
         }
     }
 
@@ -211,6 +200,31 @@ impl Observation {
         for entry in &mut self.entries {
             entry.spectra_valid = false;
             entry.scf_valid = false;
+            entry.profile_valid = false;
+        }
+    }
+
+    /// Index of the cache slot for `params`, creating an empty (invalid)
+    /// slot on first sight.
+    fn slot_index(&mut self, params: &ScfParams) -> usize {
+        match self
+            .entries
+            .iter()
+            .position(|entry| &entry.params == params)
+        {
+            Some(index) => index,
+            None => {
+                self.entries.push(CachedSpectra {
+                    params: params.clone(),
+                    spectra: Vec::new(),
+                    spectra_valid: false,
+                    scf: ScfMatrix::zeros(params.max_offset),
+                    scf_valid: false,
+                    profile: Vec::new(),
+                    profile_valid: false,
+                });
+                self.entries.len() - 1
+            }
         }
     }
 
@@ -218,23 +232,7 @@ impl Observation {
     /// spectra for the current samples, computing (and counting) them on
     /// first request.
     fn entry_index(&mut self, engine: &ScfEngine) -> Result<usize, CfdError> {
-        let index = match self
-            .entries
-            .iter()
-            .position(|entry| &entry.params == engine.params())
-        {
-            Some(index) => index,
-            None => {
-                self.entries.push(CachedSpectra {
-                    params: engine.params().clone(),
-                    spectra: Vec::new(),
-                    spectra_valid: false,
-                    scf: ScfMatrix::zeros(engine.params().max_offset),
-                    scf_valid: false,
-                });
-                self.entries.len() - 1
-            }
-        };
+        let index = self.slot_index(engine.params());
         let entry = &mut self.entries[index];
         let instruments = instruments();
         if entry.spectra_valid {
@@ -268,16 +266,109 @@ impl Observation {
     ///
     /// Propagates spectra computation errors (e.g. too few samples).
     pub fn scf_for(&mut self, engine: &ScfEngine) -> Result<&ScfMatrix, CfdError> {
+        // A valid matrix — computed here earlier, or installed by a
+        // streaming producer via [`Observation::install_scf`] — is served
+        // without touching the spectra: they are an input of the matrix,
+        // not a prerequisite for serving it.
+        self.scf_requests += 1;
+        let index = self.slot_index(engine.params());
+        if self.entries[index].scf_valid {
+            instruments().scf_cache_hits.increment();
+            return Ok(&self.entries[index].scf);
+        }
         let index = self.entry_index(engine)?;
         let entry = &mut self.entries[index];
-        if entry.scf_valid {
-            instruments().scf_cache_hits.increment();
-        } else {
-            instruments().scf_cache_misses.increment();
-            engine.dscf_from_spectra_into(&entry.spectra, &mut entry.scf);
-            entry.scf_valid = true;
-        }
+        instruments().scf_cache_misses.increment();
+        engine.dscf_from_spectra_into(&entry.spectra, &mut entry.scf);
+        entry.scf_valid = true;
         Ok(&entry.scf)
+    }
+
+    /// The cyclic-domain profile ([`ScfMatrix::cyclic_profile`]) of the
+    /// DSCF for `engine`'s parameters, computed (and cached) at most once
+    /// per observation. A profile installed by a streaming producer via
+    /// [`Observation::install_cyclic_profile`] is served as-is; otherwise
+    /// the matrix is obtained through [`Observation::scf_for`] (cached or
+    /// computed) and scanned once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spectra computation errors (e.g. too few samples).
+    pub fn cyclic_profile_for(&mut self, engine: &ScfEngine) -> Result<&[f64], CfdError> {
+        let index = self.slot_index(engine.params());
+        if self.entries[index].profile_valid {
+            return Ok(&self.entries[index].profile);
+        }
+        self.scf_for(engine)?;
+        let entry = &mut self.entries[index];
+        let CachedSpectra { scf, profile, .. } = &mut *entry;
+        scf.cyclic_profile_into(profile);
+        entry.profile_valid = true;
+        Ok(&entry.profile)
+    }
+
+    /// Installs an externally integrated DSCF for `params` into the cached
+    /// matrix slot: `fill` writes the matrix, and the filled slot is marked
+    /// valid, so a subsequent [`Observation::scf_for`] at the same
+    /// parameters serves the installed matrix without computing anything.
+    /// Unlike [`Observation::load`], nothing is invalidated here — a
+    /// streaming producer first `load`s the window samples (which
+    /// invalidates every slot), then composes the results it already has:
+    /// the matrix, the profile ([`Observation::install_cyclic_profile`]),
+    /// or both.
+    ///
+    /// This is the hand-off point of the streaming layer
+    /// ([`StreamingSensor`](crate::stream::StreamingSensor)): the sliding
+    /// window integrates incrementally and presents each hop's finished
+    /// results to its backend through the same `Observation` surface the
+    /// batch path uses.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `fill` returns; on error the slot stays invalid.
+    pub fn install_scf<E>(
+        &mut self,
+        params: &ScfParams,
+        fill: impl FnOnce(&mut ScfMatrix) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let index = self.slot_index(params);
+        let entry = &mut self.entries[index];
+        fill(&mut entry.scf)?;
+        entry.scf_valid = true;
+        Ok(())
+    }
+
+    /// Installs an externally computed cyclic-domain profile for `params`
+    /// (sibling of [`Observation::install_scf`]): `fill` writes the
+    /// profile, and a subsequent [`Observation::cyclic_profile_for`] at the
+    /// same parameters serves it without touching the matrix or spectra.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `fill` returns; on error the slot stays invalid.
+    pub fn install_cyclic_profile<E>(
+        &mut self,
+        params: &ScfParams,
+        fill: impl FnOnce(&mut Vec<f64>) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let index = self.slot_index(params);
+        let entry = &mut self.entries[index];
+        fill(&mut entry.profile)?;
+        entry.profile_valid = true;
+        Ok(())
+    }
+
+    /// How many times [`Observation::scf_for`] has been called on this
+    /// observation (hits and misses alike), over its whole lifetime.
+    ///
+    /// The streaming layer diffs this across a backend's decision to learn
+    /// whether the backend actually reads the full matrix — backends that
+    /// decide from the installed profile alone never trigger a matrix
+    /// materialisation on later hops. A per-observation counter (unlike the
+    /// global registry counters) is immune to concurrent observations on
+    /// other threads.
+    pub fn scf_requests(&self) -> u64 {
+        self.scf_requests
     }
 
     /// How many distinct spectra sets are currently computed for this
@@ -440,18 +531,20 @@ impl SensingBackend for CyclostationaryDetector {
         "cfd".into()
     }
 
-    /// Decides from the observation's cached DSCF for this detector's
-    /// [`ScfParams`] — computed once per observation and shared with every
-    /// other backend at the same parameters. Decisions are bit-identical
-    /// to [`Detector::detect`] on the raw samples: the engine's spectra
-    /// path is the one `detect` uses internally.
+    /// Decides from the observation's cached cyclic-domain profile for
+    /// this detector's [`ScfParams`] — derived (once per observation) from
+    /// the shared DSCF, or served directly when a streaming producer
+    /// installed it. The feature statistic depends on the matrix only
+    /// through the profile, so decisions are bit-identical to
+    /// [`Detector::detect`] on the raw samples: the engine's spectra and
+    /// matrix paths are the ones `detect` uses internally.
     ///
     /// The decision is timed into the `core.decide.cfd_ns` histogram while
     /// telemetry is enabled.
     fn decide(&mut self, observation: &mut Observation) -> Result<Decision, CfdError> {
         let _span = cfd_telemetry::span("core.decide.cfd_ns");
-        let scf = observation.scf_for(self.engine())?;
-        Ok(Decision::from_outcome(self.detect_from_scf(scf)))
+        let profile = observation.cyclic_profile_for(self.engine())?;
+        Ok(Decision::from_outcome(self.detect_from_profile(profile)))
     }
 }
 

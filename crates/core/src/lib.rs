@@ -43,6 +43,7 @@ pub mod error;
 pub mod methodology;
 pub mod report;
 pub mod sensing;
+pub mod stream;
 
 pub use app::{CfdApplication, Platform};
 pub use backend::{BackendRecipe, Decision, Observation, SensingBackend, SessionRecipe};
@@ -50,13 +51,12 @@ pub use error::CfdError;
 pub use methodology::{MappingReport, Step1Report, Step2Report, TwoStepMapping};
 pub use report::{EvaluationReport, EvaluationRow, Table1Report, Table1Row};
 pub use sensing::{SensingReport, SpectrumSensor};
+pub use stream::{StreamingConfig, StreamingSensor};
 pub use tiled_soc::soc::{analytic_thread_budget, set_analytic_thread_budget};
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::app::{CfdApplication, Platform};
-    #[allow(deprecated)]
-    pub use crate::backend::spectra_computations;
     pub use crate::backend::{BackendRecipe, Decision, Observation, SensingBackend, SessionRecipe};
     pub use crate::error::CfdError;
     pub use crate::methodology::{MappingReport, Step1Report, Step2Report, TwoStepMapping};
@@ -64,4 +64,5 @@ pub mod prelude {
     pub use crate::sensing::{
         energy_detector_baseline, SensingReport, SensingSession, SessionBatch, SpectrumSensor,
     };
+    pub use crate::stream::{StreamingConfig, StreamingSensor};
 }

@@ -323,6 +323,22 @@ impl CyclostationaryDetector {
         self.outcome(statistic)
     }
 
+    /// Computes the normalised feature statistic from an already-computed
+    /// cyclic-domain profile ([`ScfMatrix::cyclic_profile`] layout). The
+    /// statistic depends on the DSCF only through its profile, so this is
+    /// bit-identical to [`CyclostationaryDetector::statistic_from_scf`] on
+    /// the matrix the profile was scanned from.
+    pub fn statistic_from_profile(&self, profile: &[f64]) -> f64 {
+        feature_statistic_from_profile(profile, self.guard_offsets)
+    }
+
+    /// Runs the decision on an already-computed cyclic-domain profile —
+    /// the streaming fast path, which never materialises the full matrix.
+    pub fn detect_from_profile(&self, profile: &[f64]) -> DetectionOutcome {
+        let statistic = self.statistic_from_profile(profile);
+        self.outcome(statistic)
+    }
+
     /// Runs the decision on precomputed block spectra (eq. 2), e.g. the
     /// shared spectra a sweep engine computed once per trial. Decisions are
     /// identical to [`Detector::detect`] on the raw samples: the engine's
@@ -394,8 +410,22 @@ impl Detector for CyclostationaryDetector {
 /// [`CyclostationaryDetector`]: strongest feature outside the guard zone,
 /// divided by the strength of the `a = 0` ridge.
 pub fn feature_statistic(scf: &ScfMatrix, guard_offsets: usize) -> f64 {
-    let profile = scf.cyclic_profile();
-    let m = scf.max_offset() as i32;
+    feature_statistic_from_profile(&scf.cyclic_profile(), guard_offsets)
+}
+
+/// [`feature_statistic`] on a precomputed cyclic-domain profile
+/// ([`ScfMatrix::cyclic_profile`] layout: `2M + 1` entries, offset `a` at
+/// index `a + M`).
+///
+/// # Panics
+///
+/// Panics if `profile` has an even length (no centre `a = 0` element).
+pub fn feature_statistic_from_profile(profile: &[f64], guard_offsets: usize) -> f64 {
+    assert!(
+        profile.len() % 2 == 1,
+        "cyclic profile must have odd length (2M + 1)"
+    );
+    let m = (profile.len() / 2) as i32;
     let ridge = profile[m as usize].max(f64::MIN_POSITIVE);
     let mut best = 0.0f64;
     for (i, &value) in profile.iter().enumerate() {

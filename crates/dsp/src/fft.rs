@@ -244,6 +244,14 @@ impl FftPlan {
         Ok(())
     }
 
+    /// The `r`-th rotation-table root `exp(-j·2π·r/len)` (with `r`
+    /// reduced modulo the plan length) — the same table
+    /// [`FftPlan::rotate_block_phase`] reads, so phase factors derived
+    /// from it compose bit-identically with the block rotation.
+    pub fn phase_root(&self, r: usize) -> Cplx {
+        self.phase_roots[r % self.len]
+    }
+
     /// Applies the eq.-2 absolute-time phase rotation
     /// `X[v] *= exp(-j·2π·start·v/len)` by table lookup.
     ///

@@ -348,19 +348,36 @@ impl ScfMatrix {
     /// Cyclostationary signals show peaks at non-zero `a`; stationary noise
     /// concentrates its energy at `a = 0`.
     pub fn cyclic_profile(&self) -> Vec<f64> {
+        let mut profile = Vec::new();
+        self.cyclic_profile_into(&mut profile);
+        profile
+    }
+
+    /// [`ScfMatrix::cyclic_profile`] into a caller-owned buffer, resized to
+    /// the grid size — the allocation-free form the streaming hot path
+    /// uses.
+    ///
+    /// The scan maximises `|S|²` and takes one square root per column at
+    /// the end; `sqrt` is monotone and correctly rounded, so the result is
+    /// the square root of the largest squared magnitude — one rounding of
+    /// the true `|S|` rather than `hypot`'s, at a third of the cost.
+    pub fn cyclic_profile_into(&self, profile: &mut Vec<f64>) {
         // One pass over the flat row-major buffer (rows = f, columns = a)
         // instead of P² bounds-checked `at()` lookups.
         let p = self.grid_size();
-        let mut profile = vec![0.0f64; p];
+        profile.clear();
+        profile.resize(p, 0.0);
         for row in self.values.chunks_exact(p) {
             for (best, value) in profile.iter_mut().zip(row) {
-                let magnitude = value.abs();
+                let magnitude = value.norm_sqr();
                 if magnitude > *best {
                     *best = magnitude;
                 }
             }
         }
-        profile
+        for best in profile.iter_mut() {
+            *best = best.sqrt();
+        }
     }
 
     /// The power spectral density estimate along `a = 0`
@@ -587,6 +604,67 @@ fn seg_pass_init<const B: usize>(ar: &mut [f64], ai: &mut [f64], ops: &[SegOpera
         }
         ar[i] = re;
         ai[i] = im;
+    }
+}
+
+/// [`seg_pass`] with the sign flipped: removes `B` blocks' contributions
+/// from the accumulator. Per block the subtracted term is the same
+/// four-product, two-single-rounded-sum expression [`seg_pass`] adds, so
+/// retiring a block subtracts exactly the value (to the last bit) that
+/// adding it contributed; the residual error of an add-then-retire cycle
+/// is the associativity rounding of `(acc + t) − t` alone, which the
+/// streaming layer bounds with periodic exact refreshes.
+#[inline(always)]
+fn seg_pass_sub<const B: usize>(ar: &mut [f64], ai: &mut [f64], ops: &[SegOperands<'_>; B]) {
+    let len = ar.len();
+    let ai = &mut ai[..len];
+    for i in 0..len {
+        let mut re = ar[i];
+        let mut im = ai[i];
+        for &(xr, xi, yr, yi) in ops {
+            re -= xr[i] * yr[i] + xi[i] * yi[i];
+            im -= xi[i] * yr[i] - xr[i] * yi[i];
+        }
+        ar[i] = re;
+        ai[i] = im;
+    }
+}
+
+/// Stages `n` block spectra into the scratch's split re/im operand planes:
+/// the direct copy and the index-reversed copy `rev[t] = block[(K−t) mod
+/// K]`, `k` bins per block. Shared by the batch accumulation and the
+/// incremental single-block / window passes, so every path reads operands
+/// with exactly the same staged values.
+fn stage_operand_planes<'a>(
+    scratch: &mut ScfScratch,
+    k: usize,
+    blocks: impl ExactSizeIterator<Item = &'a [Cplx]>,
+) {
+    let n = blocks.len();
+    let ScfScratch {
+        plus_re,
+        plus_im,
+        rev_re,
+        rev_im,
+        ..
+    } = scratch;
+    for plane in [&mut *plus_re, &mut *plus_im, &mut *rev_re, &mut *rev_im] {
+        plane.clear();
+        plane.resize(n * k, 0.0);
+    }
+    for (b, block) in blocks.enumerate() {
+        let block = &block[..k];
+        let base = b * k;
+        for (t, value) in block.iter().enumerate() {
+            plus_re[base + t] = value.re;
+            plus_im[base + t] = value.im;
+        }
+        rev_re[base] = block[0].re;
+        rev_im[base] = block[0].im;
+        for t in 1..k {
+            rev_re[base + t] = block[k - t].re;
+            rev_im[base + t] = block[k - t].im;
+        }
     }
 }
 
@@ -998,6 +1076,201 @@ pub fn mac_segment_blocks(
     }
 }
 
+/// The retire-side counterpart of [`mac_segment_body`]: the same staged
+/// SoA plane layout and 4/2/1 unrolled block chains, subtracting each
+/// block's `x · conj(y)` contribution instead of adding it. There is no
+/// `init` variant — retiring always updates an existing accumulation.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn sub_segment_body(
+    ar: &mut [f64],
+    ai: &mut [f64],
+    x_re: &[f64],
+    x_im: &[f64],
+    y_re: &[f64],
+    y_im: &[f64],
+    k: usize,
+    xs: usize,
+    ys: usize,
+) {
+    let len = ar.len();
+    let n = x_re.len() / k;
+    let op = |b: usize| -> SegOperands<'_> {
+        (
+            &x_re[b * k + xs..][..len],
+            &x_im[b * k + xs..][..len],
+            &y_re[b * k + ys..][..len],
+            &y_im[b * k + ys..][..len],
+        )
+    };
+    let mut b = 0usize;
+    while b + 4 <= n {
+        let ops = [op(b), op(b + 1), op(b + 2), op(b + 3)];
+        seg_pass_sub(ar, ai, &ops);
+        b += 4;
+    }
+    if b + 2 <= n {
+        let ops = [op(b), op(b + 1)];
+        seg_pass_sub(ar, ai, &ops);
+        b += 2;
+    }
+    if b < n {
+        let ops = [op(b)];
+        seg_pass_sub(ar, ai, &ops);
+    }
+}
+
+/// [`sub_segment_body`] compiled for AVX2 — wider lanes, identical IEEE
+/// arithmetic (no `fma`, so no contraction; see [`accumulate_band_avx2`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+fn sub_segment_avx2(
+    ar: &mut [f64],
+    ai: &mut [f64],
+    x_re: &[f64],
+    x_im: &[f64],
+    y_re: &[f64],
+    y_im: &[f64],
+    k: usize,
+    xs: usize,
+    ys: usize,
+) {
+    sub_segment_body(ar, ai, x_re, x_im, y_re, y_im, k, xs, ys);
+}
+
+/// [`sub_segment_body`] compiled for AVX-512 (8-wide `f64` lanes).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+fn sub_segment_avx512(
+    ar: &mut [f64],
+    ai: &mut [f64],
+    x_re: &[f64],
+    x_im: &[f64],
+    y_re: &[f64],
+    y_im: &[f64],
+    k: usize,
+    xs: usize,
+    ys: usize,
+) {
+    sub_segment_body(ar, ai, x_re, x_im, y_re, y_im, k, xs, ys);
+}
+
+/// Runtime-dispatched retire pass over one contiguous segment — the
+/// subtracting sibling of [`mac_segment_blocks`].
+#[allow(clippy::too_many_arguments)]
+fn sub_segment_blocks(
+    ar: &mut [f64],
+    ai: &mut [f64],
+    x_re: &[f64],
+    x_im: &[f64],
+    y_re: &[f64],
+    y_im: &[f64],
+    k: usize,
+    xs: usize,
+    ys: usize,
+) {
+    match vector_tier() {
+        // SAFETY: each arm is gated on runtime detection of its feature.
+        #[cfg(target_arch = "x86_64")]
+        VectorTier::Avx512 => unsafe {
+            sub_segment_avx512(ar, ai, x_re, x_im, y_re, y_im, k, xs, ys)
+        },
+        #[cfg(target_arch = "x86_64")]
+        VectorTier::Avx2 => unsafe { sub_segment_avx2(ar, ai, x_re, x_im, y_re, y_im, k, xs, ys) },
+        VectorTier::Generic => sub_segment_body(ar, ai, x_re, x_im, y_re, y_im, k, xs, ys),
+    }
+}
+
+/// Un-normalised half-grid accumulation state for the sliding-window
+/// (incremental) DSCF integration path.
+///
+/// The planes hold `Σ_n X_{n,f+a}·conj(X_{n,f−a})` for the `a ≥ 0` half of
+/// the grid in split re/im form — exactly the engine's internal band
+/// accumulator layout, but owned by the caller and persistent across
+/// blocks, so a streaming sensor can add the newest block's contribution
+/// ([`ScfEngine::accumulate_block`]), retire the oldest
+/// ([`ScfEngine::retire_block`]) and normalise + mirror into an
+/// [`ScfMatrix`] ([`ScfEngine::finalize_accumulator`]) in O(grid) per hop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScfAccumulator {
+    max_offset: usize,
+    acc_re: Vec<f64>,
+    acc_im: Vec<f64>,
+}
+
+impl ScfAccumulator {
+    fn new(max_offset: usize) -> Self {
+        let p = 2 * max_offset + 1;
+        let half = max_offset + 1;
+        ScfAccumulator {
+            max_offset,
+            acc_re: vec![0.0; p * half],
+            acc_im: vec![0.0; p * half],
+        }
+    }
+
+    /// The maximum absolute grid index `M` this accumulator was sized for.
+    pub fn max_offset(&self) -> usize {
+        self.max_offset
+    }
+
+    /// Heap bytes held by the two half-grid planes of an accumulator for
+    /// `max_offset` — what a ring of cached per-block contribution planes
+    /// costs per block, for memory-budget decisions made before allocating.
+    pub fn bytes_for(max_offset: usize) -> usize {
+        let p = 2 * max_offset + 1;
+        let half = max_offset + 1;
+        2 * p * half * std::mem::size_of::<f64>()
+    }
+
+    /// Zeroes both planes (allocation kept).
+    pub fn reset(&mut self) {
+        self.acc_re.fill(0.0);
+        self.acc_im.fill(0.0);
+    }
+
+    /// Adds another accumulation cell-by-cell (`self += other`) — how a
+    /// cached per-block contribution plane is folded into the window sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two accumulators have different `max_offset`.
+    pub fn add_assign(&mut self, other: &ScfAccumulator) {
+        assert_eq!(
+            self.max_offset, other.max_offset,
+            "cannot combine DSCF accumulators of different sizes"
+        );
+        for (a, b) in self.acc_re.iter_mut().zip(&other.acc_re) {
+            *a += b;
+        }
+        for (a, b) in self.acc_im.iter_mut().zip(&other.acc_im) {
+            *a += b;
+        }
+    }
+
+    /// Subtracts another accumulation cell-by-cell (`self -= other`) — how
+    /// a cached per-block contribution plane is retired from the window
+    /// sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two accumulators have different `max_offset`.
+    pub fn sub_assign(&mut self, other: &ScfAccumulator) {
+        assert_eq!(
+            self.max_offset, other.max_offset,
+            "cannot combine DSCF accumulators of different sizes"
+        );
+        for (a, b) in self.acc_re.iter_mut().zip(&other.acc_re) {
+            *a -= b;
+        }
+        for (a, b) in self.acc_im.iter_mut().zip(&other.acc_im) {
+            *a -= b;
+        }
+    }
+}
+
 /// The fast software DSCF kernel: segment-decomposed, unit-stride,
 /// symmetry-halved, and allocation-reusing.
 ///
@@ -1257,33 +1530,7 @@ impl ScfEngine {
         let half = m + 1;
         let k = self.params.fft_len;
         let n = spectra.len();
-        {
-            let ScfScratch {
-                plus_re,
-                plus_im,
-                rev_re,
-                rev_im,
-                ..
-            } = scratch;
-            for plane in [&mut *plus_re, &mut *plus_im, &mut *rev_re, &mut *rev_im] {
-                plane.clear();
-                plane.resize(n * k, 0.0);
-            }
-            for (b, block) in spectra.iter().enumerate() {
-                let block = &block[..k];
-                let base = b * k;
-                for (t, value) in block.iter().enumerate() {
-                    plus_re[base + t] = value.re;
-                    plus_im[base + t] = value.im;
-                }
-                rev_re[base] = block[0].re;
-                rev_im[base] = block[0].im;
-                for t in 1..k {
-                    rev_re[base + t] = block[k - t].re;
-                    rev_im[base + t] = block[k - t].im;
-                }
-            }
-        }
+        stage_operand_planes(scratch, k, spectra.iter().map(|block| &block[..k]));
         // Row-band × block cache blocking: the accumulator slab covers only
         // one band of rows (~64 KiB across the re + im planes), stays hot
         // while every staged block streams through it, and is normalised
@@ -1356,6 +1603,360 @@ impl ScfEngine {
         let mut out = ScfMatrix::zeros(self.params.max_offset);
         self.compute_into(signal, &mut out)?;
         Ok(out)
+    }
+
+    // --- incremental (sliding-window) integration entry points ----------
+
+    /// Computes the spectrum of the single `fft_len`-sample block starting
+    /// at `signal[start]`, using the cached plan and window coefficients —
+    /// the streaming layer's per-hop FFT, bit-identical to the
+    /// corresponding block of [`ScfEngine::compute_spectra`] for the same
+    /// `start`. Note `start` also sets the block's eq.-2 phase rotation:
+    /// a streaming sensor that slices the block out of its own buffer
+    /// passes `start = 0` (a **raw**, unrotated spectrum) and re-phases
+    /// per hop with [`ScfEngine::rotate_spectrum_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`DspError::InsufficientSamples`] if the signal ends before
+    /// `start + fft_len`.
+    pub fn block_spectrum_into(
+        &self,
+        signal: &[Cplx],
+        start: usize,
+        out: &mut Vec<Cplx>,
+    ) -> Result<(), DspError> {
+        let _span = spectra_ns().start_timer();
+        block_spectrum_into(signal, start, &self.plan, &self.window_coeffs, out)
+    }
+
+    /// Copies `spectrum` and applies the eq.-2 absolute-time phase
+    /// rotation `X[v] *= exp(-j·2π·start·v/K)` of a block beginning at
+    /// sample `start`.
+    ///
+    /// Applied to a raw (`start = 0`) spectrum, the result is
+    /// **bit-identical** to computing that block directly at `start`
+    /// ([`ScfEngine::block_spectrum_into`] runs the same table-driven
+    /// rotation on the same FFT output). A streaming sensor keeps one raw
+    /// spectrum per retained block and re-phases it on demand — into the
+    /// window-relative frame for an exact batch-equal refresh, or into
+    /// the absolute-time frame for the rolling accumulation.
+    pub fn rotate_spectrum_into(&self, spectrum: &[Cplx], start: usize, out: &mut Vec<Cplx>) {
+        out.clear();
+        out.extend_from_slice(spectrum);
+        self.plan.rotate_block_phase(start, out);
+    }
+
+    /// Re-bases a window accumulation between phase frames: multiplies
+    /// every offset column `a` of the half-grid accumulator by
+    /// `exp(∓j·2π·(2a·start)/K)` (`conjugate = true` selects the `+`
+    /// sign).
+    ///
+    /// Shifting every block start of a window by `start` samples
+    /// multiplies each block's eq.-2 phase by `exp(-j·2π·v·start/K)`, so
+    /// the eq.-3 product `X_{f+a}·conj(X_{f−a})` — and therefore the
+    /// whole per-column accumulation — picks up
+    /// `exp(-j·2π·2a·start/K)`, independent of `f` and of the block.
+    /// A streaming sensor accumulates in the absolute-time frame (block
+    /// `b` rotated by `b·hop`) and conjugate-rotates a copy by the
+    /// window's start before finalising, which re-phases the sum into
+    /// exactly the frame the batch engine uses for that window. The
+    /// factors come from the FFT plan's rotation table
+    /// ([`FftPlan::phase_root`](crate::fft::FftPlan::phase_root)), so
+    /// frames compose bit-exactly with [`ScfEngine::rotate_spectrum_into`]
+    /// (and the `a = 0` ridge, whose phase is always 1, is left
+    /// untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc` was built for a different grid.
+    pub fn rotate_accumulator_columns(
+        &self,
+        acc: &mut ScfAccumulator,
+        start: usize,
+        conjugate: bool,
+    ) {
+        let m = self.params.max_offset;
+        let half = m + 1;
+        let p = self.params.grid_size();
+        let k = self.params.fft_len;
+        assert_eq!(
+            acc.max_offset, m,
+            "accumulator grid (±{}) does not match the engine grid (±{m})",
+            acc.max_offset
+        );
+        let s = start % k;
+        if s == 0 {
+            return;
+        }
+        let step = (2 * s) % k;
+        for row in 0..p {
+            let base = row * half;
+            let mut r = 0usize;
+            for a in 1..half {
+                r += step;
+                if r >= k {
+                    r -= k;
+                }
+                if r == 0 {
+                    // A full turn: multiplying by the exact 1+0j root
+                    // would still rewrite -0.0 signs; skip to keep bits.
+                    continue;
+                }
+                let root = self.plan.phase_root(r);
+                let (wr, wi) = if conjugate {
+                    (root.re, -root.im)
+                } else {
+                    (root.re, root.im)
+                };
+                let re = acc.acc_re[base + a];
+                let im = acc.acc_im[base + a];
+                acc.acc_re[base + a] = re * wr - im * wi;
+                acc.acc_im[base + a] = im * wr + re * wi;
+            }
+        }
+    }
+
+    /// A zeroed [`ScfAccumulator`] matching this engine's grid.
+    pub fn accumulator(&self) -> ScfAccumulator {
+        ScfAccumulator::new(self.params.max_offset)
+    }
+
+    /// Adds one block spectrum's contribution
+    /// `X_{f+a}·conj(X_{f−a})` to `acc`, running the engine's per-row
+    /// segments as unit-stride SIMD passes — O(grid), independent of the
+    /// window length.
+    ///
+    /// Adding `N` blocks one at a time onto a fresh accumulator and
+    /// finalising is **bit-identical** to the batch
+    /// [`ScfEngine::dscf_from_spectra_into`]: per accumulator cell the
+    /// blocks arrive in the same order with the same product expression,
+    /// and the batch kernel's fused 4/2/1 chains do not change that
+    /// per-cell addition tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is shorter than `fft_len` or if `acc` was built
+    /// for a different grid.
+    pub fn accumulate_block(&self, block: &[Cplx], acc: &mut ScfAccumulator) {
+        self.single_block_pass(block, acc, false);
+    }
+
+    /// Subtracts one block spectrum's contribution from `acc` — the retire
+    /// half of a sliding-window hop. The subtracted term is bit-for-bit
+    /// the value [`ScfEngine::accumulate_block`] added for the same block,
+    /// so the only residue of an add-then-retire cycle is the
+    /// associativity rounding of `(acc + t) − t`, which callers bound with
+    /// periodic exact refreshes ([`ScfEngine::accumulate_window`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is shorter than `fft_len` or if `acc` was built
+    /// for a different grid.
+    pub fn retire_block(&self, block: &[Cplx], acc: &mut ScfAccumulator) {
+        self.single_block_pass(block, acc, true);
+    }
+
+    fn single_block_pass(&self, block: &[Cplx], acc: &mut ScfAccumulator, subtract: bool) {
+        let m = self.params.max_offset;
+        let half = m + 1;
+        let k = self.params.fft_len;
+        assert_eq!(
+            acc.max_offset, m,
+            "accumulator grid (±{}) does not match the engine grid (±{m})",
+            acc.max_offset
+        );
+        assert!(
+            block.len() >= k,
+            "block spectrum shorter ({}) than fft_len ({k})",
+            block.len()
+        );
+        segment_runs().add(self.segments.len() as u64);
+        SCF_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            stage_operand_planes(scratch, k, std::iter::once(&block[..k]));
+            let ScfScratch {
+                plus_re,
+                plus_im,
+                rev_re,
+                rev_im,
+                ..
+            } = &*scratch;
+            for (row, bounds) in self.row_bounds.windows(2).enumerate() {
+                let base = row * half;
+                for seg in &self.segments[bounds[0] as usize..bounds[1] as usize] {
+                    let len = seg.len as usize;
+                    let ar = &mut acc.acc_re[base + seg.out as usize..][..len];
+                    let ai = &mut acc.acc_im[base + seg.out as usize..][..len];
+                    let (xs, ys) = (seg.plus as usize, seg.rev as usize);
+                    if subtract {
+                        sub_segment_blocks(ar, ai, plus_re, plus_im, rev_re, rev_im, k, xs, ys);
+                    } else {
+                        mac_segment_blocks(
+                            ar, ai, plus_re, plus_im, rev_re, rev_im, k, xs, ys, false,
+                        );
+                    }
+                }
+            }
+        });
+    }
+
+    /// Overwrites `acc` with the full accumulation over `blocks` using the
+    /// fused 4/2/1 block chains — the exact-refresh pass of a streaming
+    /// sensor, and **bit-identical** (after
+    /// [`ScfEngine::finalize_accumulator`] with `num_blocks =
+    /// blocks.len()`) to the batch [`ScfEngine::dscf_from_spectra_into`]
+    /// over the same spectra. An empty `blocks` resets the accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block is shorter than `fft_len` or if `acc` was built
+    /// for a different grid.
+    pub fn accumulate_window(&self, blocks: &[&[Cplx]], acc: &mut ScfAccumulator) {
+        let m = self.params.max_offset;
+        let half = m + 1;
+        let k = self.params.fft_len;
+        assert_eq!(
+            acc.max_offset, m,
+            "accumulator grid (±{}) does not match the engine grid (±{m})",
+            acc.max_offset
+        );
+        if blocks.is_empty() {
+            acc.reset();
+            return;
+        }
+        for block in blocks {
+            assert!(
+                block.len() >= k,
+                "block spectrum shorter ({}) than fft_len ({k})",
+                block.len()
+            );
+        }
+        segment_runs().add((self.segments.len() * blocks.len()) as u64);
+        SCF_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            stage_operand_planes(scratch, k, blocks.iter().map(|block| &block[..k]));
+            let ScfScratch {
+                plus_re,
+                plus_im,
+                rev_re,
+                rev_im,
+                ..
+            } = &*scratch;
+            for (row, bounds) in self.row_bounds.windows(2).enumerate() {
+                let base = row * half;
+                for seg in &self.segments[bounds[0] as usize..bounds[1] as usize] {
+                    let len = seg.len as usize;
+                    let ar = &mut acc.acc_re[base + seg.out as usize..][..len];
+                    let ai = &mut acc.acc_im[base + seg.out as usize..][..len];
+                    let (xs, ys) = (seg.plus as usize, seg.rev as usize);
+                    // `init = true`: the first chain starts from literal
+                    // zero, overwriting whatever the accumulator held.
+                    mac_segment_blocks(ar, ai, plus_re, plus_im, rev_re, rev_im, k, xs, ys, true);
+                }
+            }
+        });
+    }
+
+    /// Normalises (`1/num_blocks`) and mirrors the accumulated `a ≥ 0`
+    /// half into a full [`ScfMatrix`] — the same
+    /// `finalize_row_scalar`-plus-streaming-copy path the batch kernel
+    /// runs, so equal accumulator planes produce a bit-identical matrix.
+    /// `out` is resized only if its grid differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_blocks` is zero or if `acc` was built for a
+    /// different grid.
+    pub fn finalize_accumulator(
+        &self,
+        acc: &ScfAccumulator,
+        num_blocks: usize,
+        out: &mut ScfMatrix,
+    ) {
+        let m = self.params.max_offset;
+        let half = m + 1;
+        let p = self.params.grid_size();
+        assert_eq!(
+            acc.max_offset, m,
+            "accumulator grid (±{}) does not match the engine grid (±{m})",
+            acc.max_offset
+        );
+        assert!(num_blocks > 0, "cannot normalise over zero blocks");
+        if out.max_offset != m {
+            *out = ScfMatrix::zeros(m);
+        }
+        let scale = 1.0 / num_blocks as f64;
+        SCF_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            scratch.row_buf.clear();
+            scratch.row_buf.resize(p, Cplx::ZERO);
+            for row in 0..p {
+                let ar = &acc.acc_re[row * half..][..half];
+                let ai = &acc.acc_im[row * half..][..half];
+                finalize_row_scalar(&mut scratch.row_buf, ar, ai, m, scale);
+                copy_row_out(&mut out.values[row * p..(row + 1) * p], &scratch.row_buf);
+            }
+        });
+        finalize_fence();
+    }
+
+    /// The cyclic-domain profile of the matrix `acc` would finalize to,
+    /// computed straight off the `a ≥ 0` accumulator half — no
+    /// [`ScfMatrix`] is materialised. `out` is resized to the grid size;
+    /// element `[a + M]` is the profile at offset `a`.
+    ///
+    /// **Bit-identical** to
+    /// `finalize_accumulator(acc, num_blocks, &mut scf)` followed by
+    /// [`ScfMatrix::cyclic_profile`]: each scanned square replicates the
+    /// finalize arithmetic exactly (`(ar·s)² + (ai·s)²`; the mirror half's
+    /// negated imaginary part squares to the same bits), the row order and
+    /// max predicate match the matrix scan, and the mirror columns are
+    /// copies of the columns they conjugate. This is the streaming
+    /// decision path: O(grid/2) multiplies per hop instead of a full
+    /// finalize pass plus a full-grid scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_blocks` is zero or if `acc` was built for a
+    /// different grid.
+    pub fn cyclic_profile_from_accumulator(
+        &self,
+        acc: &ScfAccumulator,
+        num_blocks: usize,
+        out: &mut Vec<f64>,
+    ) {
+        let m = self.params.max_offset;
+        let half = m + 1;
+        let p = self.params.grid_size();
+        assert_eq!(
+            acc.max_offset, m,
+            "accumulator grid (±{}) does not match the engine grid (±{m})",
+            acc.max_offset
+        );
+        assert!(num_blocks > 0, "cannot normalise over zero blocks");
+        let scale = 1.0 / num_blocks as f64;
+        out.clear();
+        out.resize(p, 0.0);
+        let (neg, pos) = out.split_at_mut(m);
+        for row in 0..p {
+            let ar = &acc.acc_re[row * half..][..half];
+            let ai = &acc.acc_im[row * half..][..half];
+            for (a, best) in pos.iter_mut().enumerate() {
+                let re = ar[a] * scale;
+                let im = ai[a] * scale;
+                let magnitude = re * re + im * im;
+                if magnitude > *best {
+                    *best = magnitude;
+                }
+            }
+        }
+        for best in pos.iter_mut() {
+            *best = best.sqrt();
+        }
+        for (j, cell) in neg.iter_mut().enumerate() {
+            *cell = pos[m - j];
+        }
     }
 }
 
@@ -1662,5 +2263,129 @@ mod tests {
         }
         // A pure tone at bin 4 correlates perfectly between bins 4+0 and 4-0.
         assert!(spectral_coherence(&scf, 4, 0) > 0.99);
+    }
+
+    /// Both incremental accumulation orders — block-at-a-time adds and the
+    /// fused window re-sum — finalise to the exact bits of the batch
+    /// kernel, including with overlapping blocks.
+    #[test]
+    fn incremental_accumulation_is_bitwise_equal_to_batch() {
+        let params = ScfParams::new(32, 7, 6).unwrap().with_stride(24);
+        let engine = ScfEngine::new(params.clone()).unwrap();
+        let signal = awgn(params.samples_needed(), 1.0, 42);
+        let spectra = engine.compute_spectra(&signal).unwrap();
+        let mut batch = ScfMatrix::zeros(params.max_offset);
+        engine.dscf_from_spectra_into(&spectra, &mut batch);
+
+        let mut acc = engine.accumulator();
+        for block in &spectra {
+            engine.accumulate_block(block, &mut acc);
+        }
+        let mut one_at_a_time = ScfMatrix::zeros(params.max_offset);
+        engine.finalize_accumulator(&acc, spectra.len(), &mut one_at_a_time);
+        assert_eq!(one_at_a_time.as_slice(), batch.as_slice());
+
+        // The fused re-sum overwrites whatever the accumulator held.
+        let refs: Vec<&[Cplx]> = spectra.iter().map(|b| b.as_slice()).collect();
+        engine.accumulate_window(&refs, &mut acc);
+        let mut windowed = ScfMatrix::zeros(params.max_offset);
+        engine.finalize_accumulator(&acc, spectra.len(), &mut windowed);
+        assert_eq!(windowed.as_slice(), batch.as_slice());
+    }
+
+    /// Retiring blocks removes exactly what adding them contributed, up to
+    /// the `(acc + t) − t` associativity residue.
+    #[test]
+    fn retiring_blocks_reverts_their_contribution() {
+        let params = ScfParams::new(32, 7, 6).unwrap();
+        let engine = ScfEngine::new(params.clone()).unwrap();
+        let signal = awgn(params.samples_needed(), 1.0, 7);
+        let spectra = engine.compute_spectra(&signal).unwrap();
+
+        let mut acc = engine.accumulator();
+        let refs: Vec<&[Cplx]> = spectra.iter().map(|b| b.as_slice()).collect();
+        engine.accumulate_window(&refs, &mut acc);
+        engine.retire_block(&spectra[0], &mut acc);
+        engine.retire_block(&spectra[1], &mut acc);
+        let mut rolled = ScfMatrix::zeros(params.max_offset);
+        engine.finalize_accumulator(&acc, 4, &mut rolled);
+
+        let mut tail = engine.accumulator();
+        engine.accumulate_window(&refs[2..], &mut tail);
+        let mut exact = ScfMatrix::zeros(params.max_offset);
+        engine.finalize_accumulator(&tail, 4, &mut exact);
+        assert!(rolled.max_abs_difference(&exact) <= 1e-12);
+
+        // An empty window resets the accumulation entirely.
+        engine.accumulate_window(&[], &mut acc);
+        let mut zeroed = ScfMatrix::zeros(params.max_offset);
+        engine.finalize_accumulator(&acc, 4, &mut zeroed);
+        assert_eq!(zeroed.max_magnitude(), 0.0);
+    }
+
+    /// Cached per-block contribution planes (single-block
+    /// `accumulate_window` + `add_assign`/`sub_assign`) track the direct
+    /// segment passes.
+    #[test]
+    fn contribution_planes_compose_like_segment_passes() {
+        let params = ScfParams::new(32, 7, 4).unwrap();
+        let engine = ScfEngine::new(params.clone()).unwrap();
+        let signal = awgn(params.samples_needed(), 1.0, 13);
+        let spectra = engine.compute_spectra(&signal).unwrap();
+
+        let mut direct = engine.accumulator();
+        let mut planes = engine.accumulator();
+        let mut plane = engine.accumulator();
+        for block in &spectra {
+            engine.accumulate_block(block, &mut direct);
+            engine.accumulate_window(&[block.as_slice()], &mut plane);
+            planes.add_assign(&plane);
+        }
+        let mut a = ScfMatrix::zeros(params.max_offset);
+        let mut b = ScfMatrix::zeros(params.max_offset);
+        engine.finalize_accumulator(&direct, 4, &mut a);
+        engine.finalize_accumulator(&planes, 4, &mut b);
+        assert!(a.max_abs_difference(&b) <= 1e-12);
+        assert!(ScfAccumulator::bytes_for(params.max_offset) > 0);
+
+        engine.accumulate_window(&[spectra[3].as_slice()], &mut plane);
+        planes.sub_assign(&plane);
+        planes.reset();
+        assert_eq!(planes, engine.accumulator());
+    }
+
+    /// The accumulator-side profile scan replicates the finalize
+    /// arithmetic, so it matches finalize-then-scan bit-for-bit — the
+    /// guarantee the streaming fast path's exact-refresh hops rest on.
+    #[test]
+    fn accumulator_profile_is_bitwise_equal_to_finalized_scan() {
+        let params = ScfParams::new(32, 7, 6).unwrap().with_stride(24);
+        let engine = ScfEngine::new(params.clone()).unwrap();
+        let signal = awgn(params.samples_needed(), 1.0, 21);
+        let spectra = engine.compute_spectra(&signal).unwrap();
+        let refs: Vec<&[Cplx]> = spectra.iter().map(|b| b.as_slice()).collect();
+        let mut acc = engine.accumulator();
+        engine.accumulate_window(&refs, &mut acc);
+
+        let mut matrix = ScfMatrix::zeros(params.max_offset);
+        engine.finalize_accumulator(&acc, spectra.len(), &mut matrix);
+        let via_matrix = matrix.cyclic_profile();
+
+        let mut direct = Vec::new();
+        engine.cyclic_profile_from_accumulator(&acc, spectra.len(), &mut direct);
+        assert_eq!(direct.len(), params.grid_size());
+        assert!(via_matrix
+            .iter()
+            .zip(&direct)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the engine grid")]
+    fn mismatched_accumulator_grids_panic() {
+        let engine = ScfEngine::new(ScfParams::new(32, 7, 1).unwrap()).unwrap();
+        let other = ScfEngine::new(ScfParams::new(32, 5, 1).unwrap()).unwrap();
+        let mut acc = other.accumulator();
+        engine.accumulate_block(&[Cplx::ZERO; 32], &mut acc);
     }
 }

@@ -56,16 +56,6 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::OnceLock;
 
-/// Total number of block-spectra computations performed by the
-/// shared-spectra path since process start, across all threads.
-#[deprecated(
-    note = "read the `core.observation.spectra_computations` counter from \
-            `cfd_telemetry::registry()` instead"
-)]
-pub fn shared_spectra_computations() -> u64 {
-    cfd_telemetry::counter("core.observation.spectra_computations").value()
-}
-
 /// Cached handles to the sweep-engine instruments: whole-run and per-cell
 /// stage histograms, queue-wait time (how long a worker sat blocked on the
 /// cell queue), and throughput counters.

@@ -70,9 +70,8 @@ pub use channel::{ChannelPipeline, ChannelStage};
 pub use error::ScenarioError;
 #[allow(deprecated)]
 pub use eval::{
-    evaluate_sweep, evaluate_sweep_serial, evaluate_sweep_with_workers,
-    shared_spectra_computations, CfdReplica, SharedSpectra, SpectraWorkspace, SweepDetector,
-    SweepDetectorFactory,
+    evaluate_sweep, evaluate_sweep_serial, evaluate_sweep_with_workers, CfdReplica, SharedSpectra,
+    SpectraWorkspace, SweepDetector, SweepDetectorFactory,
 };
 pub use eval::{RocRow, RocTable, SnrSweep, SweepBuilder};
 pub use scenario::{Hypothesis, RadioScenario, ScenarioObservation};
@@ -85,14 +84,11 @@ pub mod prelude {
     pub use crate::eval::{calibrate_cfd_threshold, RocRow, RocTable, SnrSweep, SweepBuilder};
     #[allow(deprecated)]
     pub use crate::eval::{
-        evaluate_sweep, evaluate_sweep_serial, evaluate_sweep_with_workers,
-        shared_spectra_computations, SharedSpectra, SpectraWorkspace, SweepDetector,
-        SweepDetectorFactory,
+        evaluate_sweep, evaluate_sweep_serial, evaluate_sweep_with_workers, SharedSpectra,
+        SpectraWorkspace, SweepDetector, SweepDetectorFactory,
     };
     pub use crate::scenario::{Hypothesis, RadioScenario, ScenarioObservation};
     pub use crate::signal::SignalModel;
-    #[allow(deprecated)]
-    pub use cfd_core::backend::spectra_computations;
     pub use cfd_core::backend::{
         BackendRecipe, Decision, Observation, SensingBackend, SessionRecipe,
     };

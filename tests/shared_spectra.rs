@@ -5,8 +5,9 @@
 //! shims.
 //!
 //! This lives in its own integration-test binary on purpose — the
-//! [`spectra_computations`] counter is process-global, so the delta
-//! measurements must not race other sweeps running in the same process.
+//! `core.observation.spectra_computations` registry counter is
+//! process-global, so the delta measurements must not race other sweeps
+//! running in the same process.
 //! For the same reason everything here is **one** `#[test]`: libtest runs
 //! tests of a binary in parallel, and two tests measuring exact deltas of
 //! the same global counter would race each other.
@@ -18,6 +19,13 @@ use cfd_scenario::prelude::*;
 
 fn params() -> ScfParams {
     ScfParams::new(32, 7, 16).unwrap()
+}
+
+/// The registry counter behind the once-per-trial contract (the former
+/// `spectra_computations()` / `shared_spectra_computations()` shims are
+/// gone; the counter is the single source of truth).
+fn spectra_computations() -> u64 {
+    cfd_telemetry::counter("core.observation.spectra_computations").value()
 }
 
 #[test]
@@ -95,9 +103,9 @@ fn spectra_are_computed_once_per_trial_on_both_api_generations() {
         ),
     ];
 
-    let before_legacy = shared_spectra_computations();
+    let before_legacy = spectra_computations();
     let legacy_serial = evaluate_sweep_serial(&scenario, &sweep, &detectors).unwrap();
-    let after_legacy_serial = shared_spectra_computations();
+    let after_legacy_serial = spectra_computations();
     assert_eq!(
         (after_legacy_serial - before_legacy) as usize,
         observations,
@@ -105,7 +113,7 @@ fn spectra_are_computed_once_per_trial_on_both_api_generations() {
     );
 
     let legacy_parallel = evaluate_sweep_with_workers(&scenario, &sweep, &detectors, 3).unwrap();
-    let after_legacy_parallel = shared_spectra_computations();
+    let after_legacy_parallel = spectra_computations();
     assert_eq!(
         (after_legacy_parallel - after_legacy_serial) as usize,
         observations,
@@ -113,9 +121,7 @@ fn spectra_are_computed_once_per_trial_on_both_api_generations() {
     );
     assert_eq!(legacy_serial, legacy_parallel);
 
-    // The deprecated counter shim reads the same counter as the new name,
-    // and the legacy tables equal the open-API tables over the equivalent
+    // The legacy tables equal the open-API tables over the equivalent
     // roster (bit for bit — same engine underneath).
-    assert_eq!(shared_spectra_computations(), spectra_computations());
     assert_eq!(legacy_serial, serial);
 }

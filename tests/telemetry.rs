@@ -17,6 +17,7 @@
 //! in the same process.
 
 use cfd_core::app::{CfdApplication, Platform};
+use cfd_core::stream::{StreamingConfig, StreamingSensor};
 use cfd_dsp::detector::CyclostationaryDetector;
 use cfd_dsp::scf::ScfParams;
 use cfd_scenario::prelude::*;
@@ -209,5 +210,73 @@ fn telemetry_is_inert_by_default_and_covers_every_stage_when_enabled() {
             .unwrap_or(0.0)
             > 0.0,
         "stage histograms survive the JSON round-trip"
+    );
+
+    // --- 7. Streaming instruments (PR 8): a StreamingSensor splits its
+    // hops into incremental adds and exact refreshes. The split counters
+    // and the ring-occupancy gauge are always-live; the decide/refresh
+    // latency histograms record only when timing is enabled --------------
+    let stream_params = ScfParams::new(32, 7, 4).unwrap();
+    // 10 blocks at the default hop (= fft_len): 7 decisions, of which
+    // hops 0, 3 and 6 are exact refreshes (R = 3) and 4 are incremental.
+    let run_stream = || {
+        let config = StreamingConfig::new(stream_params.clone()).with_refresh_interval(3);
+        let detector = CyclostationaryDetector::new(stream_params.clone(), 0.35, 1).unwrap();
+        let mut sensor = StreamingSensor::new(config, detector).unwrap();
+        let samples = cfd_dsp::signal::awgn(stream_params.samples_needed() + 6 * 32, 1.0, 23);
+        let decisions = sensor.push(&samples).unwrap();
+        assert_eq!(decisions.len(), 7);
+        assert_eq!(sensor.incremental_hops(), 4);
+        assert_eq!(sensor.exact_refreshes(), 3);
+    };
+    let stream_counter =
+        |s: &MetricsSnapshot, name: &str| s.counter(&format!("stream.{name}")).unwrap_or(0);
+
+    cfd_telemetry::set_enabled(false);
+    let before = cfd_telemetry::registry().snapshot();
+    run_stream();
+    let mid = cfd_telemetry::registry().snapshot();
+    for hist in ["stream.decide_ns", "stream.refresh_ns"] {
+        assert_eq!(
+            hcount(&mid, hist),
+            hcount(&before, hist),
+            "disabled telemetry must not record into {hist}"
+        );
+    }
+    assert_eq!(
+        stream_counter(&mid, "incremental_hops") - stream_counter(&before, "incremental_hops"),
+        4,
+        "the hop-split counters stay live in no-op mode"
+    );
+    assert_eq!(
+        stream_counter(&mid, "exact_refreshes") - stream_counter(&before, "exact_refreshes"),
+        3
+    );
+    assert_eq!(
+        mid.gauge("stream.ring_occupancy"),
+        Some(4.0),
+        "the ring holds a full window after warm-up"
+    );
+
+    cfd_telemetry::set_enabled(true);
+    run_stream();
+    let after = cfd_telemetry::registry().snapshot();
+    assert_eq!(
+        hcount(&after, "stream.decide_ns") - hcount(&mid, "stream.decide_ns"),
+        7,
+        "every decision hop is timed when telemetry is on"
+    );
+    assert_eq!(
+        hcount(&after, "stream.refresh_ns") - hcount(&mid, "stream.refresh_ns"),
+        3,
+        "only exact-refresh hops feed the refresh histogram"
+    );
+    assert_eq!(
+        stream_counter(&after, "incremental_hops") - stream_counter(&mid, "incremental_hops"),
+        4
+    );
+    assert_eq!(
+        stream_counter(&after, "exact_refreshes") - stream_counter(&mid, "exact_refreshes"),
+        3
     );
 }
