@@ -159,13 +159,13 @@ pub fn timing_metrics(document: &JsonValue) -> Vec<(String, f64)> {
             metrics.push((format!("soc_sweep.{field}"), value));
         }
     }
-    // Wideband kernel and streaming-sensor timings spliced in by
-    // `section5_evaluation` (every `_seconds` field under `kernels` and
-    // `streaming`): new scales appear as new keys, which the comparison
-    // reports as notes, not failures. Non-`_seconds` fields (speedup
-    // quotients, iteration counts) are higher-is-better or descriptive
-    // and stay ungated.
-    for section in ["kernels", "streaming"] {
+    // Wideband kernel, streaming-sensor and sensing-service timings
+    // spliced in by `section5_evaluation` (every `_seconds` field under
+    // `kernels`, `streaming` and `service`): new scales appear as new
+    // keys, which the comparison reports as notes, not failures.
+    // Non-`_seconds` fields (speedup quotients, iteration counts) are
+    // higher-is-better or descriptive and stay ungated.
+    for section in ["kernels", "streaming", "service"] {
         if let Some(timings) = document.get(section).and_then(JsonValue::as_object) {
             for (name, value) in timings {
                 if !name.ends_with("_seconds") {
@@ -412,6 +412,54 @@ mod tests {
         assert!(report.notes.iter().any(|note| note
             .contains("streaming.incremental_127x127_8blocks_seconds")
             && note.contains("is new")));
+    }
+
+    fn service_doc(scheduler_1w: f64) -> String {
+        format!(
+            "{{\"schema\":2,\"rows\":[],\"service\":{{\
+             \"naive_1024ch_seconds\":0.9,\
+             \"scheduler_1024ch_1w_seconds\":{scheduler_1w},\
+             \"scheduler_1024ch_4w_seconds\":0.25,\
+             \"speedup_1024ch_1w\":3.2}}}}"
+        )
+    }
+
+    #[test]
+    fn gates_spliced_service_seconds() {
+        // The `_seconds` fields under `service` are gated exactly like
+        // the kernel and streaming timings; the speedup quotient (higher
+        // is better) is not.
+        let report =
+            compare_documents(&service_doc(0.28), &service_doc(0.4), DEFAULT_TOLERANCE).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 3);
+        assert!(report
+            .checks
+            .iter()
+            .any(|check| check.metric == "service.scheduler_1024ch_1w_seconds"));
+        assert!(!report
+            .checks
+            .iter()
+            .any(|check| check.metric.contains("speedup")));
+        let report =
+            compare_documents(&service_doc(0.28), &service_doc(1.3), DEFAULT_TOLERANCE).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.regressions().len(), 1);
+    }
+
+    #[test]
+    fn new_service_keys_pass_with_a_note() {
+        // The PR introducing the `service` object diffs against an
+        // artefact without it: every key is a note, never a failure.
+        let report =
+            compare_documents(&sweeps_doc(1.0, 1.0), &service_doc(0.28), DEFAULT_TOLERANCE)
+                .unwrap();
+        assert!(report.passed());
+        assert!(report
+            .notes
+            .iter()
+            .any(|note| note.contains("service.scheduler_1024ch_1w_seconds")
+                && note.contains("is new")));
     }
 
     #[test]

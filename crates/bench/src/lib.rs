@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod gate;
+pub mod service_driver;
 
 use cfd_dsp::complex::Cplx;
 use cfd_dsp::scf::ScfParams;

@@ -510,6 +510,27 @@ pub trait SensingBackend {
     }
 }
 
+/// A boxed backend is a backend: lets generic consumers like
+/// [`StreamingSensor`](crate::stream::StreamingSensor) wrap the
+/// `Box<dyn SensingBackend>` replicas that [`BackendRecipe::build`]
+/// produces without a dedicated dynamic code path.
+impl<B: SensingBackend + ?Sized> SensingBackend for Box<B> {
+    fn label(&self) -> String {
+        (**self).label()
+    }
+
+    fn decide(&mut self, observation: &mut Observation) -> Result<Decision, CfdError> {
+        (**self).decide(observation)
+    }
+
+    fn decide_batch(
+        &mut self,
+        observations: &mut [Observation],
+    ) -> Result<Vec<Decision>, CfdError> {
+        (**self).decide_batch(observations)
+    }
+}
+
 impl SensingBackend for EnergyDetector {
     fn label(&self) -> String {
         "energy".into()

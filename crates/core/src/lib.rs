@@ -16,7 +16,12 @@
 //!   (`tiled-soc`), with an energy-detector baseline;
 //! * [`backend`] — the unified sensing API: one [`Observation`] in, one
 //!   [`Decision`] out, through the open [`SensingBackend`] trait that any
-//!   detector (including third-party ones) implements to join sweeps.
+//!   detector (including third-party ones) implements to join sweeps;
+//! * [`stream`] — bounded-latency streaming decisions over an unbounded
+//!   sample stream (the O(grid) incremental sliding-window DSCF);
+//! * [`service`] — sensing as a service: a [`SensingScheduler`]
+//!   multiplexing many concurrent band subscriptions over a pooled worker
+//!   fleet with bounded ingress and explicit backpressure.
 //!
 //! ## Example: the paper's headline result
 //!
@@ -43,6 +48,7 @@ pub mod error;
 pub mod methodology;
 pub mod report;
 pub mod sensing;
+pub mod service;
 pub mod stream;
 
 pub use app::{CfdApplication, Platform};
@@ -51,6 +57,9 @@ pub use error::CfdError;
 pub use methodology::{MappingReport, Step1Report, Step2Report, TwoStepMapping};
 pub use report::{EvaluationReport, EvaluationRow, Table1Report, Table1Row};
 pub use sensing::{SensingReport, SpectrumSensor};
+pub use service::{
+    Backpressure, ChannelSubscription, DecisionSink, SensingScheduler, ServiceConfig, ServiceReport,
+};
 pub use stream::{StreamingConfig, StreamingSensor};
 pub use tiled_soc::soc::{analytic_thread_budget, set_analytic_thread_budget};
 
@@ -63,6 +72,10 @@ pub mod prelude {
     pub use crate::report::{EvaluationReport, EvaluationRow, Table1Report, Table1Row};
     pub use crate::sensing::{
         energy_detector_baseline, SensingReport, SensingSession, SessionBatch, SpectrumSensor,
+    };
+    pub use crate::service::{
+        Backpressure, ChannelSubscription, DecisionSink, SensingScheduler, ServiceConfig,
+        ServiceReport,
     };
     pub use crate::stream::{StreamingConfig, StreamingSensor};
 }

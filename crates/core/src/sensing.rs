@@ -129,7 +129,7 @@ impl SpectrumSensor {
 
     /// Scenario-driven fast entry point: one decision from externally
     /// computed block spectra (eq. 2, non-overlapping rectangular-window
-    /// blocks — the `SharedSpectra` a sweep engine already computed for the
+    /// blocks — the spectra an [`Observation`] already cached for the
     /// software CFD replicas), fed straight into the platform's spectra-fed
     /// correlator. Decisions are identical to
     /// [`SpectrumSensor::decide`] on the raw samples when

@@ -463,6 +463,29 @@ impl<B: SensingBackend> StreamingSensor<B> {
         self.exact_refreshes = 0;
     }
 
+    /// [`StreamingSensor::reset`] for the idle/duty-cycle path: forgets the
+    /// stream but **keeps every buffer allocation** — the ring spectra,
+    /// contribution planes, refresh scratch and rotation scratch stay at
+    /// capacity, so a parked channel costs no steady-state allocation when
+    /// its next activity burst re-warms it.
+    ///
+    /// Keeping stale ring/plane/accumulator *contents* is safe by the same
+    /// slot discipline the hot path relies on: a slot's spectrum is fully
+    /// overwritten before any read ([`ScfEngine::block_spectrum_into`] and
+    /// [`ScfEngine::rotate_spectrum_into`] clear-then-extend), a slot's
+    /// plane is rebuilt from scratch ([`ScfEngine::accumulate_window`]
+    /// starts its first chain from literal zero), and the first decision
+    /// after a warm-up is always an exact refresh that re-sums the whole
+    /// ring before adopting it into the rolling accumulator.
+    pub fn park(&mut self) {
+        self.tape.clear();
+        self.materialize = true;
+        self.next_block = 0;
+        self.decisions = 0;
+        self.incremental_hops = 0;
+        self.exact_refreshes = 0;
+    }
+
     /// Processes the completed block `self.next_block`: FFT into the ring,
     /// O(grid) window update, and — once the window is full — one backend
     /// decision over the current window.
@@ -694,5 +717,44 @@ mod tests {
         sensor.reset();
         assert_eq!(sensor.decisions_emitted(), 0);
         assert_eq!(sensor.push(&stream[..params.fft_len]).unwrap().len(), 0);
+    }
+
+    /// Parking forgets the stream (next push re-warms, decisions restart
+    /// from a fresh window) while reusing the warm buffers: decisions after
+    /// a park are bit-identical to a fresh sensor fed the same stream —
+    /// stale ring/plane/accumulator contents never leak into them.
+    #[test]
+    fn park_restarts_the_stream_with_warm_buffers() {
+        for plane_budget in [usize::MAX, 0] {
+            let params = ScfParams::new(32, 7, 4).unwrap();
+            let config = StreamingConfig::new(params.clone())
+                .with_refresh_interval(3)
+                .with_plane_budget(plane_budget);
+            let backend = CyclostationaryDetector::new(params.clone(), 0.35, 1).unwrap();
+            let mut parked = StreamingSensor::new(config.clone(), backend.clone()).unwrap();
+
+            // First burst: 7 blocks → 4 decisions, then park mid-window.
+            let burst_a = awgn(7 * params.fft_len, 1.0, 11);
+            assert_eq!(parked.push(&burst_a).unwrap().len(), 4);
+            parked.park();
+            assert_eq!(parked.decisions_emitted(), 0);
+            assert_eq!(parked.blocks_ingested(), 0);
+
+            // Second burst through the parked (warm) sensor vs a fresh one.
+            let burst_b = awgn(9 * params.fft_len, 1.0, 13);
+            let warm = parked.push(&burst_b).unwrap();
+            let mut fresh = StreamingSensor::new(config, backend.clone()).unwrap();
+            let cold = fresh.push(&burst_b).unwrap();
+            assert_eq!(warm.len(), 6);
+            assert_eq!(warm.len(), cold.len());
+            for (hop, (w, c)) in warm.iter().zip(&cold).enumerate() {
+                assert_eq!(
+                    w.statistic.to_bits(),
+                    c.statistic.to_bits(),
+                    "budget {plane_budget}, hop {hop}: parked sensor must match a fresh one"
+                );
+                assert_eq!(w.verdict, c.verdict);
+            }
+        }
     }
 }

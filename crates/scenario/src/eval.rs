@@ -80,86 +80,6 @@ fn sweep_instruments() -> &'static SweepInstruments {
     })
 }
 
-/// The reusable buffers behind [`SharedSpectra`] — the pre-[`Observation`]
-/// shape of the per-worker spectra cache, kept as a thin wrapper.
-#[deprecated(note = "use `cfd_core::backend::Observation`, which owns the samples \
-                     and the spectra caches in one type")]
-#[derive(Debug, Default)]
-pub struct SpectraWorkspace {
-    observation: Observation,
-}
-
-#[allow(deprecated)]
-impl SpectraWorkspace {
-    /// An empty workspace; buffers are created on first use.
-    pub fn new() -> Self {
-        SpectraWorkspace::default()
-    }
-
-    /// Starts a new observation: `samples` are copied into the wrapped
-    /// [`Observation`] (stale caches are invalidated, buffers kept) and a
-    /// [`SharedSpectra`] view is returned for the roster to decide
-    /// through.
-    pub fn observation<'a>(&'a mut self, samples: &'a [Cplx]) -> SharedSpectra<'a> {
-        self.observation.load(samples);
-        SharedSpectra {
-            samples,
-            observation: &mut self.observation,
-        }
-    }
-}
-
-/// One observation plus its lazily computed block spectra and DSCF — the
-/// borrowing predecessor of [`Observation`], kept as a thin wrapper for
-/// the deprecated [`SweepDetector::decide_from_spectra`] path.
-#[deprecated(
-    note = "use `cfd_core::backend::Observation` (`SensingBackend::decide` \
-                     consumes it directly)"
-)]
-#[derive(Debug)]
-pub struct SharedSpectra<'a> {
-    /// The caller's slice, kept alongside the wrapped [`Observation`]'s
-    /// copy so [`SharedSpectra::samples`] can return the original `'a`
-    /// lifetime the pre-redesign API had (callers may hold the samples
-    /// across later `&mut self` calls).
-    samples: &'a [Cplx],
-    observation: &'a mut Observation,
-}
-
-#[allow(deprecated)]
-impl<'a> SharedSpectra<'a> {
-    /// The raw observation samples.
-    pub fn samples(&self) -> &'a [Cplx] {
-        self.samples
-    }
-
-    /// The block spectra for `engine`'s parameters, computed at most once
-    /// per observation and reused afterwards.
-    ///
-    /// # Errors
-    ///
-    /// Propagates spectra computation errors (e.g. too few samples).
-    pub fn spectra_for(&mut self, engine: &ScfEngine) -> Result<&[Vec<Cplx>], ScenarioError> {
-        Ok(self.observation.spectra_for(engine)?)
-    }
-
-    /// The integrated DSCF matrix for `engine`'s parameters, computed at
-    /// most once per observation and shared by every replica at the same
-    /// parameters.
-    ///
-    /// # Errors
-    ///
-    /// Propagates spectra computation errors (e.g. too few samples).
-    pub fn scf_for(&mut self, engine: &ScfEngine) -> Result<&ScfMatrix, ScenarioError> {
-        Ok(self.observation.scf_for(engine)?)
-    }
-
-    /// How many distinct spectra sets this observation has computed so far.
-    pub fn computed(&self) -> usize {
-        self.observation.computed()
-    }
-}
-
 /// A detector replica of the closed pre-[`SensingBackend`] sweep engine.
 ///
 /// The three variants cover the repository's built-in detection paths; the
@@ -218,38 +138,11 @@ impl SweepDetector {
                 let CfdReplica { detector, scratch } = replica.as_mut();
                 detector.detect_into(samples, scratch)?.decision.is_signal()
             }
-            SweepDetector::TiledSoc(session) => session.decide(samples)?.decision.is_signal(),
+            // Explicit deref: `Box<SensingSession>` is itself a
+            // `SensingBackend`, so the inherent raw-sample `decide` must be
+            // named through the pointee.
+            SweepDetector::TiledSoc(session) => (**session).decide(samples)?.decision.is_signal(),
         })
-    }
-
-    /// Runs one decision against an observation wrapped in a
-    /// [`SharedSpectra`], reusing (or computing exactly once) the block
-    /// spectra shared across every CFD replica of the roster. Decisions
-    /// are identical to [`SweepDetector::decide`] on the raw samples.
-    ///
-    /// # Errors
-    ///
-    /// Propagates detector and platform errors.
-    pub fn decide_from_spectra(
-        &mut self,
-        shared: &mut SharedSpectra<'_>,
-    ) -> Result<bool, ScenarioError> {
-        match self {
-            SweepDetector::Cyclostationary(replica) => {
-                let scf = shared.scf_for(replica.detector.engine())?;
-                Ok(replica.detector.detect_from_scf(scf).decision.is_signal())
-            }
-            // An analytic full-precision platform decides from the shared
-            // software spectra (bit-identical to its raw-sample path).
-            SweepDetector::TiledSoc(session) if session.shares_software_spectra() => {
-                let spectra = shared.spectra_for(session.engine())?;
-                Ok(session.decide_from_spectra(spectra)?.decision.is_signal())
-            }
-            // The energy statistic is time-domain power; a simulating (or
-            // Q15) SoC replica computes its own on-tile spectra by design.
-            // Both decide straight from the raw samples.
-            _ => self.decide(shared.samples()),
-        }
     }
 
     /// Runs one decision per observation, in order. The SoC path streams
@@ -262,7 +155,9 @@ impl SweepDetector {
     /// Propagates detector and platform errors.
     pub fn decide_batch(&mut self, observations: &[&[Cplx]]) -> Result<Vec<bool>, ScenarioError> {
         match self {
-            SweepDetector::TiledSoc(session) => Ok(session.decide_batch(observations)?.decisions()),
+            SweepDetector::TiledSoc(session) => {
+                Ok((**session).decide_batch(observations)?.decisions())
+            }
             _ => observations
                 .iter()
                 .map(|samples| self.decide(samples))
@@ -1366,30 +1261,9 @@ mod tests {
 
     #[test]
     #[allow(deprecated)]
-    fn legacy_shared_spectra_wrapper_forwards_to_the_observation() {
-        let scenario = small_scenario();
-        let trial_observation = scenario.observe(Hypothesis::Occupied, 0).unwrap();
-        let mut workspace = SpectraWorkspace::new();
-        let mut shared = workspace.observation(&trial_observation.samples);
-        assert_eq!(shared.computed(), 0);
-        assert_eq!(shared.samples().len(), trial_observation.samples.len());
-        let mut replica = SweepDetectorFactory::Cyclostationary(cfd(0.35))
-            .build()
-            .unwrap();
-        replica.decide_from_spectra(&mut shared).unwrap();
-        assert_eq!(shared.computed(), 1);
-        let engine = ScfEngine::new(ScfParams::new(32, 7, 32).unwrap()).unwrap();
-        assert_eq!(shared.spectra_for(&engine).unwrap().len(), 32);
-        assert_eq!(shared.scf_for(&engine).unwrap().grid_size(), 15);
-        assert_eq!(shared.computed(), 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
     fn backend_decisions_match_the_legacy_replica_paths() {
         // The open SensingBackend path must decide exactly like the legacy
-        // SweepDetector it replaced, for every built-in detector kind and
-        // both raw-sample and shared-spectra evaluation.
+        // SweepDetector it replaced, for every built-in detector kind.
         let scenario = small_scenario();
         let factories = [
             SweepDetectorFactory::Energy(
@@ -1412,10 +1286,7 @@ mod tests {
             let trial_observation = scenario.observe(hypothesis, trial).unwrap();
             for factory in &factories {
                 let mut legacy_raw = factory.build().unwrap();
-                let mut legacy_shared = factory.build().unwrap();
                 let mut backend = BackendRecipe::build(factory).unwrap();
-                let mut workspace = SpectraWorkspace::new();
-                let mut shared = workspace.observation(&trial_observation.samples);
                 let mut observation = Observation::new();
                 observation.load(&trial_observation.samples);
                 let decision = backend.decide(&mut observation).unwrap();
@@ -1423,12 +1294,6 @@ mod tests {
                     legacy_raw.decide(&trial_observation.samples).unwrap(),
                     decision.is_signal(),
                     "{} diverged from the raw-sample path on trial {trial}",
-                    factory.label()
-                );
-                assert_eq!(
-                    legacy_shared.decide_from_spectra(&mut shared).unwrap(),
-                    decision.is_signal(),
-                    "{} diverged from the shared-spectra path on trial {trial}",
                     factory.label()
                 );
             }

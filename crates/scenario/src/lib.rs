@@ -23,7 +23,11 @@
 //!   own replicas (the SoC path opens one `SensingSession` per worker),
 //!   and `(snr_point, trial)` cells are distributed over a crossbeam work
 //!   queue — bit-identical for every worker count thanks to common random
-//!   numbers.
+//!   numbers;
+//! * [`service_traffic`] — many-channel traffic synthesis for the
+//!   `cfd_core::service` scheduler: one preset scenario per channel with
+//!   Markov-style activity bursts, emitted as an interleaved slot-major
+//!   hop/park event stream.
 //!
 //! ## Example: a ROC table under noise-floor uncertainty
 //!
@@ -64,17 +68,19 @@ pub mod channel;
 pub mod error;
 pub mod eval;
 pub mod scenario;
+pub mod service_traffic;
 pub mod signal;
 
 pub use channel::{ChannelPipeline, ChannelStage};
 pub use error::ScenarioError;
 #[allow(deprecated)]
 pub use eval::{
-    evaluate_sweep, evaluate_sweep_serial, evaluate_sweep_with_workers, CfdReplica, SharedSpectra,
-    SpectraWorkspace, SweepDetector, SweepDetectorFactory,
+    evaluate_sweep, evaluate_sweep_serial, evaluate_sweep_with_workers, CfdReplica, SweepDetector,
+    SweepDetectorFactory,
 };
 pub use eval::{RocRow, RocTable, SnrSweep, SweepBuilder};
 pub use scenario::{Hypothesis, RadioScenario, ScenarioObservation};
+pub use service_traffic::{ActivityModel, ServiceTraffic, TrafficEvent};
 pub use signal::SignalModel;
 
 /// Convenience re-exports of the most commonly used items.
@@ -84,10 +90,11 @@ pub mod prelude {
     pub use crate::eval::{calibrate_cfd_threshold, RocRow, RocTable, SnrSweep, SweepBuilder};
     #[allow(deprecated)]
     pub use crate::eval::{
-        evaluate_sweep, evaluate_sweep_serial, evaluate_sweep_with_workers, SharedSpectra,
-        SpectraWorkspace, SweepDetector, SweepDetectorFactory,
+        evaluate_sweep, evaluate_sweep_serial, evaluate_sweep_with_workers, SweepDetector,
+        SweepDetectorFactory,
     };
     pub use crate::scenario::{Hypothesis, RadioScenario, ScenarioObservation};
+    pub use crate::service_traffic::{ActivityModel, ServiceTraffic, TrafficEvent};
     pub use crate::signal::SignalModel;
     pub use cfd_core::backend::{
         BackendRecipe, Decision, Observation, SensingBackend, SessionRecipe,

@@ -1,0 +1,414 @@
+//! Synthesizes many-channel sensing traffic for the
+//! [`SensingScheduler`](cfd_core::service::SensingScheduler).
+//!
+//! A sensing node watches `M` bands at once; each band alternates between
+//! activity bursts (hops of samples arrive every slot) and idle periods
+//! (no samples — the service parks the channel). [`ServiceTraffic`] turns
+//! the named [`RadioScenario`] presets into that workload: one independent
+//! scenario per channel (seed-salted, common random numbers per slot), a
+//! two-state Markov activity model per channel
+//! ([`ActivityModel`]), and a slot-major interleaved event stream — hop
+//! events carry the samples and the ground truth, park events mark
+//! burst-to-idle transitions.
+//!
+//! Everything is deterministic in the configuration: the same traffic
+//! description always synthesizes the same events, which is what lets the
+//! scheduler's output be property-pinned against serial per-channel
+//! driving (`tests/service.rs`) and benchmarked reproducibly
+//! (`service_throughput`).
+//!
+//! # Hop geometry
+//!
+//! One hop is one block: size the hop length to the sensing geometry's
+//! [`block_stride`](cfd_dsp::scf::ScfParams::block_stride) so each slot's
+//! hop completes exactly one block of the subscribed
+//! [`StreamingSensor`](cfd_core::stream::StreamingSensor) window. Channel
+//! realisations are drawn per slot (hop-granular block fading — each
+//! slot's noise is an independent draw from the per-channel stream), with
+//! the burst hypothesis held constant across a burst.
+
+use crate::channel::mix_seed;
+use crate::error::ScenarioError;
+use crate::scenario::{Hypothesis, RadioScenario};
+use cfd_dsp::complex::Cplx;
+
+/// A two-state Markov activity model, evaluated once per slot and
+/// channel: an active channel stays active with probability
+/// `stay_active`, an idle one stays idle with probability `stay_idle`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivityModel {
+    /// P(active → active) per slot.
+    pub stay_active: f64,
+    /// P(idle → idle) per slot.
+    pub stay_idle: f64,
+}
+
+impl ActivityModel {
+    /// Every channel hops on every slot; no parks are ever emitted. The
+    /// default, and what throughput benchmarks use.
+    pub fn always_active() -> Self {
+        ActivityModel {
+            stay_active: 1.0,
+            stay_idle: 0.0,
+        }
+    }
+
+    /// A bursty model with the given per-slot persistence probabilities.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::InvalidParameter`] when either probability is
+    /// outside `[0, 1]`.
+    pub fn bursty(stay_active: f64, stay_idle: f64) -> Result<Self, ScenarioError> {
+        for (name, p) in [("stay_active", stay_active), ("stay_idle", stay_idle)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(ScenarioError::InvalidParameter {
+                    name,
+                    message: format!("must be a probability in [0, 1], got {p}"),
+                });
+            }
+        }
+        Ok(ActivityModel {
+            stay_active,
+            stay_idle,
+        })
+    }
+}
+
+impl Default for ActivityModel {
+    fn default() -> Self {
+        ActivityModel::always_active()
+    }
+}
+
+/// One event of the synthesized traffic stream, in arrival order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficEvent {
+    /// One hop of samples for a channel
+    /// (feed to [`SensingScheduler::push`]).
+    ///
+    /// [`SensingScheduler::push`]: cfd_core::service::SensingScheduler::push
+    Hop {
+        /// The subscribed channel.
+        channel: u64,
+        /// The hop's received samples.
+        samples: Vec<Cplx>,
+        /// Ground truth: was the licensed user transmitting this burst?
+        occupied: bool,
+    },
+    /// The channel's burst ended
+    /// (feed to [`SensingScheduler::park`]).
+    ///
+    /// [`SensingScheduler::park`]: cfd_core::service::SensingScheduler::park
+    Park {
+        /// The channel going idle.
+        channel: u64,
+    },
+}
+
+impl TrafficEvent {
+    /// The channel this event belongs to.
+    pub fn channel(&self) -> u64 {
+        match self {
+            TrafficEvent::Hop { channel, .. } | TrafficEvent::Park { channel } => *channel,
+        }
+    }
+}
+
+/// A deterministic SplitMix64 stream for the per-channel activity and
+/// hypothesis draws (independent of the observation randomness, which
+/// lives in the per-channel [`RadioScenario`] seeds).
+struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    fn new(seed: u64) -> Self {
+        SplitMix { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Per-channel synthesis state.
+struct ChannelTraffic {
+    scenario: RadioScenario,
+    rng: SplitMix,
+    active: bool,
+    hypothesis: Hypothesis,
+}
+
+/// Describes an `M`-channel traffic workload over a named preset.
+///
+/// # Examples
+///
+/// ```
+/// use cfd_scenario::service_traffic::{ServiceTraffic, TrafficEvent};
+///
+/// # fn main() -> Result<(), cfd_scenario::error::ScenarioError> {
+/// // 8 channels x 6 slots of 32-sample hops, always active.
+/// let events = ServiceTraffic::new("bpsk-awgn", 8, 6, 32)?
+///     .with_seed(7)
+///     .at_snr(5.0)
+///     .synthesize()?;
+/// assert_eq!(events.len(), 8 * 6);
+/// assert!(events
+///     .iter()
+///     .all(|event| matches!(event, TrafficEvent::Hop { samples, .. } if samples.len() == 32)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceTraffic {
+    preset: String,
+    channels: usize,
+    slots: usize,
+    hop_len: usize,
+    seed: u64,
+    snr_db: Option<f64>,
+    activity: ActivityModel,
+}
+
+impl ServiceTraffic {
+    /// A traffic description: `channels` channels of the named
+    /// [`RadioScenario::preset`], `slots` slots of `hop_len`-sample hops,
+    /// always active at the preset's default SNR until configured
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::InvalidParameter`] for an unknown preset name or a
+    /// zero channel/slot/hop-length count.
+    pub fn new(
+        preset: &str,
+        channels: usize,
+        slots: usize,
+        hop_len: usize,
+    ) -> Result<Self, ScenarioError> {
+        for (name, value) in [
+            ("channels", channels),
+            ("slots", slots),
+            ("hop_len", hop_len),
+        ] {
+            if value == 0 {
+                return Err(ScenarioError::InvalidParameter {
+                    name,
+                    message: "must be at least 1".into(),
+                });
+            }
+        }
+        if RadioScenario::preset(preset, hop_len).is_none() {
+            return Err(ScenarioError::InvalidParameter {
+                name: "preset",
+                message: format!(
+                    "unknown preset `{preset}` (known: {})",
+                    RadioScenario::preset_names().join(", ")
+                ),
+            });
+        }
+        Ok(ServiceTraffic {
+            preset: preset.into(),
+            channels,
+            slots,
+            hop_len,
+            seed: 0,
+            snr_db: None,
+            activity: ActivityModel::always_active(),
+        })
+    }
+
+    /// Sets the base seed (builder style); every per-channel scenario and
+    /// activity stream derives from it deterministically.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Retargets every channel's AWGN stages to `snr_db`
+    /// ([`RadioScenario::at_snr`] — common random numbers per slot).
+    pub fn at_snr(mut self, snr_db: f64) -> Self {
+        self.snr_db = Some(snr_db);
+        self
+    }
+
+    /// Sets the per-channel activity model.
+    pub fn with_activity(mut self, activity: ActivityModel) -> Self {
+        self.activity = activity;
+        self
+    }
+
+    /// The channel count `M`.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The slot count.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Streams the traffic events to `visit`, slot-major (within one slot
+    /// the channels hop in id order — the interleaving a scheduler ingests
+    /// them in), without materialising the whole workload. Each channel
+    /// starts its first slot active with a fresh burst hypothesis; a
+    /// [`TrafficEvent::Park`] is emitted when a burst ends.
+    ///
+    /// # Errors
+    ///
+    /// Propagates observation-synthesis errors and whatever `visit`
+    /// returns (scheduler errors convert via
+    /// `ScenarioError::from(CfdError)`).
+    pub fn visit(
+        &self,
+        mut visit: impl FnMut(TrafficEvent) -> Result<(), ScenarioError>,
+    ) -> Result<(), ScenarioError> {
+        let mut channels: Vec<ChannelTraffic> = (0..self.channels as u64)
+            .map(|channel| {
+                let mut scenario = RadioScenario::preset(&self.preset, self.hop_len)
+                    .expect("preset validated in ServiceTraffic::new")
+                    .with_seed(mix_seed(self.seed, 0x0B5E_4F5E ^ channel));
+                if let Some(snr_db) = self.snr_db {
+                    scenario = scenario.at_snr(snr_db);
+                }
+                let mut rng = SplitMix::new(mix_seed(self.seed, 0xAC71_17B1 ^ channel));
+                let hypothesis = if rng.next_f64() < 0.5 {
+                    Hypothesis::Occupied
+                } else {
+                    Hypothesis::Vacant
+                };
+                ChannelTraffic {
+                    scenario,
+                    rng,
+                    active: true,
+                    hypothesis,
+                }
+            })
+            .collect();
+        for slot in 0..self.slots {
+            for (id, channel) in channels.iter_mut().enumerate() {
+                if channel.active {
+                    let observation = channel.scenario.observe(channel.hypothesis, slot)?;
+                    visit(TrafficEvent::Hop {
+                        channel: id as u64,
+                        samples: observation.samples,
+                        occupied: observation.occupied,
+                    })?;
+                    if channel.rng.next_f64() >= self.activity.stay_active {
+                        channel.active = false;
+                        visit(TrafficEvent::Park { channel: id as u64 })?;
+                    }
+                } else if channel.rng.next_f64() >= self.activity.stay_idle {
+                    channel.active = true;
+                    // A fresh burst redraws the licensed user's presence.
+                    channel.hypothesis = if channel.rng.next_f64() < 0.5 {
+                        Hypothesis::Occupied
+                    } else {
+                        Hypothesis::Vacant
+                    };
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`ServiceTraffic::visit`] collecting every event into a vector.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceTraffic::visit`].
+    pub fn synthesize(&self) -> Result<Vec<TrafficEvent>, ScenarioError> {
+        let mut events = Vec::new();
+        self.visit(|event| {
+            events.push(event);
+            Ok(())
+        })?;
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_descriptions_are_structured_errors() {
+        assert!(matches!(
+            ServiceTraffic::new("no-such-preset", 4, 4, 32).unwrap_err(),
+            ScenarioError::InvalidParameter { name: "preset", .. }
+        ));
+        assert!(matches!(
+            ServiceTraffic::new("bpsk-awgn", 0, 4, 32).unwrap_err(),
+            ScenarioError::InvalidParameter {
+                name: "channels",
+                ..
+            }
+        ));
+        assert!(ActivityModel::bursty(1.2, 0.5).is_err());
+    }
+
+    #[test]
+    fn always_active_traffic_is_dense_and_deterministic() {
+        let traffic = ServiceTraffic::new("bpsk-awgn", 5, 7, 32)
+            .unwrap()
+            .with_seed(3)
+            .at_snr(5.0);
+        let a = traffic.synthesize().unwrap();
+        let b = traffic.synthesize().unwrap();
+        assert_eq!(a, b, "same description, same events");
+        assert_eq!(a.len(), 5 * 7, "every channel hops on every slot");
+        // Slot-major interleaving: the first 5 events are slot 0 of
+        // channels 0..5 in order.
+        for (i, event) in a.iter().take(5).enumerate() {
+            assert_eq!(event.channel(), i as u64);
+            assert!(matches!(event, TrafficEvent::Hop { samples, .. } if samples.len() == 32));
+        }
+        // Channels are independent realisations.
+        let (TrafficEvent::Hop { samples: s0, .. }, TrafficEvent::Hop { samples: s1, .. }) =
+            (&a[0], &a[1])
+        else {
+            panic!("dense traffic starts with hops");
+        };
+        assert_ne!(s0, s1);
+    }
+
+    #[test]
+    fn bursty_traffic_parks_between_bursts() {
+        let events = ServiceTraffic::new("bpsk-awgn", 16, 24, 32)
+            .unwrap()
+            .with_seed(11)
+            .with_activity(ActivityModel::bursty(0.7, 0.5).unwrap())
+            .synthesize()
+            .unwrap();
+        let hops = events
+            .iter()
+            .filter(|e| matches!(e, TrafficEvent::Hop { .. }))
+            .count();
+        let parks = events.len() - hops;
+        assert!(parks > 0, "a 0.3 burst-end rate must park some channels");
+        assert!(hops > 0);
+        // A park is always preceded by a hop of the same channel (bursts
+        // end, they do not start parked), and hypothesis is constant
+        // within a burst.
+        for (i, event) in events.iter().enumerate() {
+            if let TrafficEvent::Park { channel } = event {
+                let before = events[..i]
+                    .iter()
+                    .rev()
+                    .find(|e| e.channel() == *channel)
+                    .expect("park follows traffic on the channel");
+                assert!(matches!(before, TrafficEvent::Hop { .. }));
+            }
+        }
+    }
+}

@@ -487,7 +487,7 @@ impl TiledSoc {
 
     /// The spectra-fed fast path: accumulates one integration step per
     /// externally computed block spectrum (eq.-2 spectra of consecutive
-    /// non-overlapping blocks, e.g. the `SharedSpectra` a sweep engine
+    /// non-overlapping blocks, e.g. the cached spectra an `Observation`
     /// already computed for the software CFD replicas) and returns the same
     /// `SocRun` — analytic cycle breakdowns, transfer and source counters —
     /// the simulated run would have produced for the equivalent signal.

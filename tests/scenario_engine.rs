@@ -3,7 +3,8 @@
 //! the energy detector's detection probability in SNR, bit-exact
 //! equivalence of the parallel sweep engine with its serial reference, and
 //! bit-exact decision-identity of the redesigned `SensingBackend` path
-//! with the legacy `decide*` paths for every detector kind.
+//! with the legacy raw-sample `SweepDetector::decide` path for every
+//! detector kind.
 
 use cfd_core::app::{CfdApplication, Platform};
 use cfd_dsp::detector::{CyclostationaryDetector, EnergyDetector};
@@ -132,12 +133,11 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// The redesigned `SensingBackend` path is decision-identical to the
-    /// legacy `SweepDetector::decide` (raw samples) and
-    /// `SweepDetector::decide_from_spectra` (shared spectra) paths, for
-    /// **every** detector kind (energy, golden-model CFD, tiled SoC) in
-    /// **every** preset, under both hypotheses: redesigning the surface
-    /// changed where the FFT runs and how results are reported, never what
-    /// is decided. (Kept at 8 cases: each builds SoC replicas, i.e. whole
+    /// legacy raw-sample `SweepDetector::decide` path, for **every**
+    /// detector kind (energy, golden-model CFD, tiled SoC) in **every**
+    /// preset, under both hypotheses: redesigning the surface changed
+    /// where the FFT runs and how results are reported, never what is
+    /// decided. (Kept at 8 cases: each builds SoC replicas, i.e. whole
     /// simulated platforms.)
     #[test]
     #[allow(deprecated)]
@@ -165,28 +165,16 @@ proptest! {
                 .with_seed(seed);
             for hypothesis in [Hypothesis::Occupied, Hypothesis::Vacant] {
                 let trial_observation = scenario.observe(hypothesis, trial).unwrap();
-                let mut workspace = SpectraWorkspace::new();
-                let mut shared = workspace.observation(&trial_observation.samples);
                 let mut observation = Observation::new();
                 observation.load(&trial_observation.samples);
                 for factory in &factories {
                     let mut legacy_raw = factory.build().unwrap();
-                    let mut legacy_shared = factory.build().unwrap();
                     let mut backend = BackendRecipe::build(factory).unwrap();
                     let decision = backend.decide(&mut observation).unwrap();
                     prop_assert_eq!(
                         legacy_raw.decide(&trial_observation.samples).unwrap(),
                         decision.is_signal(),
                         "{} diverged from decide() on preset {} ({:?}, trial {})",
-                        factory.label(),
-                        preset,
-                        hypothesis,
-                        trial
-                    );
-                    prop_assert_eq!(
-                        legacy_shared.decide_from_spectra(&mut shared).unwrap(),
-                        decision.is_signal(),
-                        "{} diverged from decide_from_spectra() on preset {} ({:?}, trial {})",
                         factory.label(),
                         preset,
                         hypothesis,

@@ -279,4 +279,91 @@ fn telemetry_is_inert_by_default_and_covers_every_stage_when_enabled() {
         stream_counter(&after, "exact_refreshes") - stream_counter(&mid, "exact_refreshes"),
         3
     );
+
+    // --- 8. Service instruments (PR 9): a SensingScheduler counts hops,
+    // decisions and drops always-live, reports its fleet shape through
+    // gauges, and times hop processing / queue waits only when enabled ---
+    // 3 channels x 6 hops of one 32-sample block each; window = 4 blocks,
+    // so each channel decides on hops 4..6: 18 hops, 9 decisions, 0 drops.
+    let service_params = ScfParams::new(32, 7, 4).unwrap();
+    let run_service = || {
+        let mut builder = cfd_core::SensingScheduler::builder(cfd_core::ServiceConfig::new(2));
+        let log = cfd_core::service::DecisionLog::new();
+        for channel in 0..3u64 {
+            builder = builder.subscribe(cfd_core::ChannelSubscription::new(
+                channel,
+                StreamingConfig::new(service_params.clone()),
+                CyclostationaryDetector::new(service_params.clone(), 0.35, 1).unwrap(),
+                log.clone(),
+            ));
+        }
+        let scheduler = builder.spawn().unwrap();
+        let samples = cfd_dsp::signal::awgn(32, 1.0, 31);
+        for _hop in 0..6 {
+            for channel in 0..3u64 {
+                scheduler.push(channel, &samples).unwrap();
+            }
+        }
+        let report = scheduler.join().unwrap();
+        assert_eq!((report.hops, report.decisions, report.drops), (18, 9, 0));
+        assert_eq!(log.len(), 9);
+    };
+    let service_counter =
+        |s: &MetricsSnapshot, name: &str| s.counter(&format!("service.{name}")).unwrap_or(0);
+
+    cfd_telemetry::set_enabled(false);
+    let before = cfd_telemetry::registry().snapshot();
+    run_service();
+    let mid = cfd_telemetry::registry().snapshot();
+    for hist in ["service.hop_ns", "service.queue_wait_ns"] {
+        assert_eq!(
+            hcount(&mid, hist),
+            hcount(&before, hist),
+            "disabled telemetry must not record into {hist}"
+        );
+    }
+    assert_eq!(
+        service_counter(&mid, "hops") - service_counter(&before, "hops"),
+        18,
+        "the service throughput counters stay live in no-op mode"
+    );
+    assert_eq!(
+        service_counter(&mid, "decisions") - service_counter(&before, "decisions"),
+        9
+    );
+    assert_eq!(
+        service_counter(&mid, "drops") - service_counter(&before, "drops"),
+        0,
+        "Block backpressure must not shed"
+    );
+    assert_eq!(
+        (mid.gauge("service.channels"), mid.gauge("service.workers")),
+        (Some(3.0), Some(2.0)),
+        "the fleet-shape gauges report the most recent spawn"
+    );
+    assert_eq!(
+        mid.gauge("service.queue_occupancy"),
+        Some(0.0),
+        "a joined scheduler leaves its ingress queues drained"
+    );
+
+    cfd_telemetry::set_enabled(true);
+    run_service();
+    let after = cfd_telemetry::registry().snapshot();
+    assert_eq!(
+        hcount(&after, "service.hop_ns") - hcount(&mid, "service.hop_ns"),
+        18,
+        "every processed hop is timed when telemetry is on"
+    );
+    assert!(
+        hcount(&after, "service.queue_wait_ns") > hcount(&mid, "service.queue_wait_ns"),
+        "workers time the waits on their shard queues"
+    );
+    assert_eq!(
+        service_counter(&after, "decisions") - service_counter(&mid, "decisions"),
+        9
+    );
+    // Scheduler spawns lowered the process-wide analytic budget; restore
+    // it so this test leaves the global where it found it.
+    cfd_core::set_analytic_thread_budget(usize::MAX);
 }

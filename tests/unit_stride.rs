@@ -16,6 +16,7 @@
 use cfd_core::app::CfdApplication;
 use cfd_core::error::CfdError;
 use cfd_dsp::complex::Cplx;
+use cfd_dsp::detector::CyclostationaryDetector;
 use cfd_dsp::error::DspError;
 use cfd_dsp::scf::{dscf_reference, ScfEngine, ScfMatrix, ScfParams};
 use cfd_dsp::signal::{modulated_signal, ModulatedSignalSpec};
@@ -138,7 +139,11 @@ fn idle_tiles_survive_every_thread_count() {
 }
 
 /// `analytic_threads: 0` ("one worker per core") and a lowered process
-/// budget both resolve to valid thread counts and stay exact.
+/// budget both resolve to valid thread counts and stay exact; pool
+/// spawners (here: the sensing-service scheduler) register their worker
+/// count through the same budget so workers × SoC threads never
+/// oversubscribes. One sequential test: the budget is process-global, so
+/// splitting these cases across parallel libtest threads would race.
 #[test]
 fn thread_budget_caps_the_fan_out_without_changing_results() {
     let (fft_len, max_offset, blocks) = (64usize, 15usize, 2usize);
@@ -154,6 +159,29 @@ fn thread_budget_caps_the_fan_out_without_changing_results() {
     assert!(cfd_core::analytic_thread_budget() >= 4);
     assert_eq!(capped.scf.as_slice(), golden.scf.as_slice());
     assert_eq!(capped.per_tile_cycles, golden.per_tile_cycles);
+
+    // Spawning a SensingScheduler with k workers divides the budget by k,
+    // exactly like the sweep engine's worker pool.
+    let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    for workers in [1usize, 3] {
+        let params = ScfParams::new(32, 7, 4).unwrap();
+        let scheduler = cfd_core::SensingScheduler::builder(cfd_core::ServiceConfig::new(workers))
+            .subscribe(cfd_core::ChannelSubscription::new(
+                0,
+                cfd_core::StreamingConfig::new(params.clone()),
+                CyclostationaryDetector::new(params, 0.35, 1).unwrap(),
+                cfd_core::service::DecisionLog::new(),
+            ))
+            .spawn()
+            .unwrap();
+        assert_eq!(
+            cfd_core::analytic_thread_budget(),
+            (parallelism / workers).max(1),
+            "{workers} scheduler workers must share the machine budget"
+        );
+        scheduler.join().unwrap();
+    }
+    cfd_core::set_analytic_thread_budget(usize::MAX);
 }
 
 /// Parameter errors are structured `InvalidParameter` values — for the
