@@ -1,0 +1,99 @@
+//! Criterion bench of cooperative multi-sensor fusion
+//! (`cfd_core::fusion`): the per-decision cost of a fused fleet relative
+//! to a solo detector, split by what actually costs money —
+//!
+//! * a **clean** fleet shares the common observation's spectra caches, so
+//!   N members cost one FFT pass plus N profile reads;
+//! * a **shadowed** fleet pays one impairment overlay + full spectra
+//!   pipeline per member, the price of per-sensor channel realisations;
+//! * **soft combining** is the same fan-out with a summed statistic
+//!   instead of counted votes.
+
+use cfd_core::backend::{Observation, SensingBackend};
+use cfd_core::fusion::{FusionCenter, FusionRule, MemberChannel};
+use cfd_dsp::detector::CyclostationaryDetector;
+use cfd_dsp::scf::ScfParams;
+use cfd_dsp::signal::{SignalBuilder, SymbolModulation};
+use cfd_scenario::channel::{ChannelPipeline, ChannelStage};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn shadowing() -> MemberChannel {
+    let overlay = ChannelPipeline::new(vec![ChannelStage::LogNormalShadowing {
+        sigma_db: 8.0,
+        noise_power: 1.0,
+    }]);
+    MemberChannel::new(move |samples, seed| {
+        overlay
+            .impair(samples.to_vec(), seed)
+            .expect("validated overlay")
+    })
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+
+    let params = ScfParams::new(64, 15, 16).unwrap();
+    let cfd = || CyclostationaryDetector::new(params.clone(), 0.35, 1).unwrap();
+    let samples = SignalBuilder::new(params.samples_needed())
+        .modulation(SymbolModulation::Bpsk)
+        .samples_per_symbol(4)
+        .snr_db(5.0)
+        .seed(3)
+        .build()
+        .unwrap()
+        .samples;
+
+    let mut solo = cfd();
+    group.bench_function("solo_cfd", |b| {
+        b.iter(|| {
+            let mut observation = Observation::from_samples(samples.clone());
+            solo.decide(&mut observation).unwrap()
+        });
+    });
+
+    let mut clean_fleet = FusionCenter::new(FusionRule::KOfN(2))
+        .with_member(cfd())
+        .with_member(cfd())
+        .with_member(cfd())
+        .with_member(cfd());
+    group.bench_function("clean_4x_k_of_n", |b| {
+        b.iter(|| {
+            let mut observation = Observation::from_samples(samples.clone());
+            clean_fleet.decide(&mut observation).unwrap()
+        });
+    });
+
+    let mut shadowed_fleet = FusionCenter::new(FusionRule::Or)
+        .with_impaired_member(cfd(), shadowing())
+        .with_impaired_member(cfd(), shadowing())
+        .with_impaired_member(cfd(), shadowing())
+        .with_impaired_member(cfd(), shadowing());
+    group.bench_function("shadowed_4x_or", |b| {
+        b.iter(|| {
+            let mut observation = Observation::from_samples(samples.clone());
+            shadowed_fleet.decide(&mut observation).unwrap()
+        });
+    });
+
+    let mut soft_fleet = FusionCenter::new(FusionRule::SoftCombine { threshold: 1.4 })
+        .with_impaired_member(cfd(), shadowing())
+        .with_impaired_member(cfd(), shadowing())
+        .with_impaired_member(cfd(), shadowing())
+        .with_impaired_member(cfd(), shadowing());
+    group.bench_function("shadowed_4x_soft", |b| {
+        b.iter(|| {
+            let mut observation = Observation::from_samples(samples.clone());
+            soft_fleet.decide(&mut observation).unwrap()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

@@ -31,6 +31,11 @@ struct OutputPaths {
     /// per-decision baseline vs scheduler) and splice its timings into
     /// the sweeps document as the `service` object.
     service: bool,
+    /// Run the cooperative-fusion comparison (per-rule fused sweeps of a
+    /// 4-sensor shadowed fleet at a pinned SNR point) and splice its
+    /// timings and Pd readings into the sweeps document as the `fusion`
+    /// object.
+    fusion: bool,
 }
 
 /// Parses the output-path flags from the command line.
@@ -47,6 +52,10 @@ fn output_paths() -> Result<OutputPaths, Box<dyn std::error::Error>> {
             "--metrics-json" => &mut paths.metrics_json,
             "--service" => {
                 paths.service = true;
+                continue;
+            }
+            "--fusion" => {
+                paths.fusion = true;
                 continue;
             }
             _ => continue,
@@ -369,12 +378,76 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         service_timings.push(("speedup_1024ch_1w".into(), service_speedup));
     }
 
+    let mut fusion_timings: Vec<(String, f64)> = Vec::new();
+    if paths.fusion {
+        header("Cooperative fusion: 4-sensor shadowed fleet, per-rule sweep cost and Pd (PR 10)");
+        // A 4-member CFD fleet, every member behind its own 8 dB
+        // log-normal shadow realisation, swept at a pinned 5 dB SNR point
+        // under each fusion rule. Timed through telemetry spans (min of
+        // 3 sweeps) so the numbers land in the metrics snapshot; the Pd
+        // readings ride along in the artefact but are not gated (higher
+        // is better).
+        use cfd_core::fusion::{FusionCenter, FusionRule, MemberChannel};
+        use cfd_scenario::channel::{ChannelPipeline, ChannelStage};
+        let params = cfd_dsp::scf::ScfParams::new(32, 7, 32)?;
+        let fusion_scenario = RadioScenario::preset("bpsk-awgn", params.samples_needed())
+            .expect("built-in preset")
+            .with_seed(41);
+        let fusion_sweep = SnrSweep::new(vec![5.0], 40)?;
+        let shadowing = || {
+            let overlay = ChannelPipeline::new(vec![ChannelStage::LogNormalShadowing {
+                sigma_db: 8.0,
+                noise_power: 1.0,
+            }]);
+            MemberChannel::new(move |samples: &[_], seed| {
+                overlay
+                    .impair(samples.to_vec(), seed)
+                    .expect("validated overlay")
+            })
+        };
+        let rules = [
+            ("or_4x_shadowed", FusionRule::Or),
+            ("and_4x_shadowed", FusionRule::And),
+            ("2of4_shadowed", FusionRule::KOfN(2)),
+            (
+                "soft_4x_shadowed",
+                FusionRule::SoftCombine { threshold: 1.4 },
+            ),
+        ];
+        for (tag, rule) in rules {
+            let mut fleet = FusionCenter::new(rule);
+            for _ in 0..4 {
+                fleet = fleet.with_impaired_member(
+                    cfd_dsp::detector::CyclostationaryDetector::new(params.clone(), 0.35, 1)?,
+                    shadowing(),
+                );
+            }
+            let mut best = f64::INFINITY;
+            let mut pd = 0.0;
+            for _ in 0..3 {
+                let timer = cfd_telemetry::histogram(&format!("bench.section5.fusion_{tag}_ns"))
+                    .start_timer();
+                let table = SweepBuilder::new(&fusion_scenario)
+                    .sweep(fusion_sweep.clone())
+                    .backend(fleet.clone())
+                    .run()?;
+                let nanos = timer.stop().expect("telemetry is enabled in this binary");
+                best = best.min(nanos as f64 / 1e9);
+                pd = table.rows[0].pd;
+            }
+            println!("{tag:<18} sweep: {:9.4} s   Pd at 5 dB: {pd:.3}", best);
+            fusion_timings.push((format!("{tag}_seconds"), best));
+            fusion_timings.push((format!("{tag}_pd"), pd));
+        }
+    }
+
     if let Some(path) = &paths.bench_json {
         // Splice the platform-path timing, the wideband kernel timings,
-        // the streaming per-decision timings and (with `--service`) the
-        // service throughput timings into the RocTable document so the
-        // uploaded BENCH_sweeps.json tracks the Pd/Pfa trajectory and
-        // every per-commit cost trajectory in one artefact.
+        // the streaming per-decision timings and (with `--service` /
+        // `--fusion`) the service throughput and fusion timings into the
+        // RocTable document so the uploaded BENCH_sweeps.json tracks the
+        // Pd/Pfa trajectory and every per-commit cost trajectory in one
+        // artefact.
         let rows = table.to_json();
         let rows = rows
             .strip_suffix('}')
@@ -393,10 +466,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             format!(",\"service\":{{{}}}", join(&service_timings))
         };
+        let fusion = if fusion_timings.is_empty() {
+            String::new()
+        } else {
+            format!(",\"fusion\":{{{}}}", join(&fusion_timings))
+        };
         let json = format!(
             "{rows},\"soc_sweep\":{{\"analytic_seconds\":{analytic_seconds},\
              \"lockstep_seconds\":{lockstep_seconds},\"speedup\":{speedup}}},\
-             \"kernels\":{{{kernels}}},\"streaming\":{{{streaming}}}{service}}}"
+             \"kernels\":{{{kernels}}},\"streaming\":{{{streaming}}}{service}{fusion}}}"
         );
         std::fs::write(path, json)?;
         println!(

@@ -159,13 +159,14 @@ pub fn timing_metrics(document: &JsonValue) -> Vec<(String, f64)> {
             metrics.push((format!("soc_sweep.{field}"), value));
         }
     }
-    // Wideband kernel, streaming-sensor and sensing-service timings
-    // spliced in by `section5_evaluation` (every `_seconds` field under
-    // `kernels`, `streaming` and `service`): new scales appear as new
-    // keys, which the comparison reports as notes, not failures.
-    // Non-`_seconds` fields (speedup quotients, iteration counts) are
-    // higher-is-better or descriptive and stay ungated.
-    for section in ["kernels", "streaming", "service"] {
+    // Wideband kernel, streaming-sensor, sensing-service and fusion
+    // timings spliced in by `section5_evaluation` (every `_seconds` field
+    // under `kernels`, `streaming`, `service` and `fusion`): new scales
+    // appear as new keys, which the comparison reports as notes, not
+    // failures. Non-`_seconds` fields (speedup quotients, Pd readings,
+    // iteration counts) are higher-is-better or descriptive and stay
+    // ungated.
+    for section in ["kernels", "streaming", "service", "fusion"] {
         if let Some(timings) = document.get(section).and_then(JsonValue::as_object) {
             for (name, value) in timings {
                 if !name.ends_with("_seconds") {
@@ -460,6 +461,53 @@ mod tests {
             .iter()
             .any(|note| note.contains("service.scheduler_1024ch_1w_seconds")
                 && note.contains("is new")));
+    }
+
+    fn fusion_doc(or_seconds: f64) -> String {
+        format!(
+            "{{\"schema\":2,\"rows\":[],\"fusion\":{{\
+             \"or_4x_shadowed_seconds\":{or_seconds},\
+             \"and_4x_shadowed_seconds\":0.02,\
+             \"2of4_shadowed_seconds\":0.02,\
+             \"soft_4x_shadowed_seconds\":0.02,\
+             \"or_4x_shadowed_pd\":0.93}}}}"
+        )
+    }
+
+    #[test]
+    fn gates_spliced_fusion_seconds() {
+        // The `_seconds` fields under `fusion` are gated exactly like the
+        // other spliced sections; the Pd readings (higher is better) are
+        // not.
+        let report =
+            compare_documents(&fusion_doc(0.02), &fusion_doc(0.03), DEFAULT_TOLERANCE).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 4);
+        assert!(report
+            .checks
+            .iter()
+            .any(|check| check.metric == "fusion.or_4x_shadowed_seconds"));
+        assert!(!report
+            .checks
+            .iter()
+            .any(|check| check.metric.ends_with("_pd")));
+        let report =
+            compare_documents(&fusion_doc(0.02), &fusion_doc(0.1), DEFAULT_TOLERANCE).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.regressions().len(), 1);
+    }
+
+    #[test]
+    fn new_fusion_keys_pass_with_a_note() {
+        // The PR introducing the `fusion` object diffs against an
+        // artefact without it: every key is a note, never a failure.
+        let report =
+            compare_documents(&sweeps_doc(1.0, 1.0), &fusion_doc(0.02), DEFAULT_TOLERANCE).unwrap();
+        assert!(report.passed());
+        assert!(report
+            .notes
+            .iter()
+            .any(|note| note.contains("fusion.or_4x_shadowed_seconds") && note.contains("is new")));
     }
 
     #[test]

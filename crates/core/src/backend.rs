@@ -590,10 +590,14 @@ pub trait BackendRecipe: Sync {
 
     /// Builds one independent replica.
     ///
+    /// Replicas are `Send` so consumers may build them on one thread and
+    /// run them on another (the fusion layer caches member replicas inside
+    /// a backend that must itself stay shareable).
+    ///
     /// # Errors
     ///
     /// Propagates construction errors of the underlying backend.
-    fn build(&self) -> Result<Box<dyn SensingBackend>, CfdError>;
+    fn build(&self) -> Result<Box<dyn SensingBackend + Send>, CfdError>;
 }
 
 /// Every cloneable, shareable backend is its own recipe: a clone is a
@@ -601,13 +605,13 @@ pub trait BackendRecipe: Sync {
 /// configuration, no per-observation state.
 impl<B> BackendRecipe for B
 where
-    B: SensingBackend + Clone + Sync + 'static,
+    B: SensingBackend + Clone + Send + Sync + 'static,
 {
     fn label(&self) -> String {
         SensingBackend::label(self)
     }
 
-    fn build(&self) -> Result<Box<dyn SensingBackend>, CfdError> {
+    fn build(&self) -> Result<Box<dyn SensingBackend + Send>, CfdError> {
         Ok(Box::new(self.clone()))
     }
 }
@@ -669,7 +673,7 @@ impl BackendRecipe for SessionRecipe {
         "cfd-soc".into()
     }
 
-    fn build(&self) -> Result<Box<dyn SensingBackend>, CfdError> {
+    fn build(&self) -> Result<Box<dyn SensingBackend + Send>, CfdError> {
         Ok(Box::new(SensingSession::new(
             self.application.clone(),
             &self.platform,

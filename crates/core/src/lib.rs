@@ -45,6 +45,7 @@
 pub mod app;
 pub mod backend;
 pub mod error;
+pub mod fusion;
 pub mod methodology;
 pub mod report;
 pub mod sensing;
@@ -54,6 +55,7 @@ pub mod stream;
 pub use app::{CfdApplication, Platform};
 pub use backend::{BackendRecipe, Decision, Observation, SensingBackend, SessionRecipe};
 pub use error::CfdError;
+pub use fusion::{FusionCenter, FusionRule, MemberChannel};
 pub use methodology::{MappingReport, Step1Report, Step2Report, TwoStepMapping};
 pub use report::{EvaluationReport, EvaluationRow, Table1Report, Table1Row};
 pub use sensing::{SensingReport, SpectrumSensor};
@@ -68,6 +70,7 @@ pub mod prelude {
     pub use crate::app::{CfdApplication, Platform};
     pub use crate::backend::{BackendRecipe, Decision, Observation, SensingBackend, SessionRecipe};
     pub use crate::error::CfdError;
+    pub use crate::fusion::{FusionCenter, FusionRule, MemberChannel};
     pub use crate::methodology::{MappingReport, Step1Report, Step2Report, TwoStepMapping};
     pub use crate::report::{EvaluationReport, EvaluationRow, Table1Report, Table1Row};
     pub use crate::sensing::{

@@ -491,7 +491,7 @@ impl IngressQueue {
 /// ring/accumulator/profile buffers persist across hops), the decision
 /// sink, a reused decision scratch vector and the park/failure state.
 struct ChannelState {
-    sensor: StreamingSensor<Box<dyn SensingBackend>>,
+    sensor: StreamingSensor<Box<dyn SensingBackend + Send>>,
     sink: Box<dyn DecisionSink>,
     out: Vec<Decision>,
     parked: bool,

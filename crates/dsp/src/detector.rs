@@ -36,14 +36,6 @@ impl Verdict {
     }
 }
 
-/// The old name of [`Verdict`], kept as a migration shim. The name
-/// `Decision` now refers to the structured result of the unified sensing
-/// API (`cfd_core::backend::Decision`: verdict + statistic + threshold +
-/// optional platform metrics).
-#[deprecated(note = "renamed to `Verdict`; `Decision` is now the structured \
-                     result of `cfd_core::backend::SensingBackend`")]
-pub type Decision = Verdict;
-
 /// The result of running a detector on one observation.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DetectionOutcome {

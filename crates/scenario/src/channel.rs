@@ -55,6 +55,65 @@ pub enum ChannelStage {
         /// The converter's full-scale amplitude.
         full_scale: f64,
     },
+    /// Frequency-selective Rayleigh fading: the observation is convolved
+    /// with a tapped delay line whose tap gains are independent complex
+    /// Gaussians under an exponential power-delay profile (unit expected
+    /// energy, so the *average* power budget is preserved while any one
+    /// realisation may sit in a deep frequency notch).
+    ///
+    /// The stage is receiver-referenced: it is meant to sit *after* the
+    /// [`ChannelStage::Awgn`] stage (which renormalises any earlier gain
+    /// away by design) and models the fade hitting the already-noisy
+    /// observation, after which the thermal floor is topped back up to
+    /// `noise_power` with fresh white noise — the signal fades, the
+    /// receiver's noise calibration does not.
+    RayleighFading {
+        /// Number of Rayleigh-faded taps (≥ 1); tap `t` arrives
+        /// `t * tap_spacing` samples after the first.
+        taps: usize,
+        /// Delay between consecutive taps in samples (≥ 1). Larger
+        /// spacings put the spectral notches closer together.
+        tap_spacing: usize,
+        /// Exponential power-delay-profile decay per tap, in dB (≥ 0).
+        decay_db: f64,
+        /// The receiver's thermal floor, restored after the fade.
+        noise_power: f64,
+    },
+    /// Log-normal shadowing: a per-realisation obstruction loss of
+    /// `-|N(0, sigma_db²)|` dB applied to the whole observation, with
+    /// the thermal floor topped back up to `noise_power` afterwards (the
+    /// shadow attenuates the signal in the air; the receiver's own noise
+    /// is not attenuated). The loss is half-normal — attenuation-only,
+    /// referenced to the unobstructed link: an up-fade would require
+    /// *removing* receiver noise, which a receiver-referenced overlay
+    /// cannot do, so the dB draw is folded instead of clipped (clipping
+    /// would make half of all realisations exactly fade-free).
+    ///
+    /// Like [`ChannelStage::RayleighFading`] this is receiver-referenced
+    /// and belongs *after* the [`ChannelStage::Awgn`] stage.
+    LogNormalShadowing {
+        /// Standard deviation of the dB-domain Gaussian; 4–12 dB are
+        /// typical outdoor values.
+        sigma_db: f64,
+        /// The receiver's thermal floor, restored after the shadow.
+        noise_power: f64,
+    },
+    /// An adjacent-channel interferer: an independent QPSK-like
+    /// transmission centred `offset` cycles/sample away is added at
+    /// `power`. Placed after the [`ChannelStage::Awgn`] stage so the
+    /// interferer is not counted into the licensed user's SNR budget (and
+    /// pollutes vacant bands too) — the classic trap for an energy
+    /// detector, while cyclic features at the licensed signal's symbol
+    /// rate survive.
+    AdjacentChannelInterferer {
+        /// Interferer centre-frequency offset in cycles/sample.
+        offset: f64,
+        /// Interferer power at the receiver.
+        power: f64,
+        /// Interferer symbol length in samples (≥ 1); sets *its* cyclic
+        /// signature apart from the licensed user's.
+        samples_per_symbol: usize,
+    },
     /// Bernoulli–Gaussian impulsive noise: each sample independently
     /// receives a strong complex-Gaussian impulse with probability
     /// `probability` (the classic model for ignition/switching noise in
@@ -136,6 +195,81 @@ impl ChannelStage {
                 }
                 Ok(())
             }
+            ChannelStage::RayleighFading {
+                taps,
+                tap_spacing,
+                decay_db,
+                noise_power,
+            } => {
+                if *taps == 0 {
+                    return Err(ScenarioError::InvalidParameter {
+                        name: "taps",
+                        message: "must be at least 1".into(),
+                    });
+                }
+                if *tap_spacing == 0 {
+                    return Err(ScenarioError::InvalidParameter {
+                        name: "tap_spacing",
+                        message: "must be at least 1".into(),
+                    });
+                }
+                if !(decay_db.is_finite() && *decay_db >= 0.0) {
+                    return Err(ScenarioError::InvalidParameter {
+                        name: "decay_db",
+                        message: format!("must be non-negative and finite, got {decay_db}"),
+                    });
+                }
+                if !(noise_power.is_finite() && *noise_power > 0.0) {
+                    return Err(ScenarioError::InvalidParameter {
+                        name: "noise_power",
+                        message: format!("must be positive and finite, got {noise_power}"),
+                    });
+                }
+                Ok(())
+            }
+            ChannelStage::LogNormalShadowing {
+                sigma_db,
+                noise_power,
+            } => {
+                if !(sigma_db.is_finite() && *sigma_db >= 0.0) {
+                    return Err(ScenarioError::InvalidParameter {
+                        name: "sigma_db",
+                        message: format!("must be non-negative and finite, got {sigma_db}"),
+                    });
+                }
+                if !(noise_power.is_finite() && *noise_power > 0.0) {
+                    return Err(ScenarioError::InvalidParameter {
+                        name: "noise_power",
+                        message: format!("must be positive and finite, got {noise_power}"),
+                    });
+                }
+                Ok(())
+            }
+            ChannelStage::AdjacentChannelInterferer {
+                offset,
+                power,
+                samples_per_symbol,
+            } => {
+                if !(offset.is_finite() && offset.abs() <= 0.5) {
+                    return Err(ScenarioError::InvalidParameter {
+                        name: "offset",
+                        message: format!("must be finite and within [-0.5, 0.5], got {offset}"),
+                    });
+                }
+                if !(power.is_finite() && *power > 0.0) {
+                    return Err(ScenarioError::InvalidParameter {
+                        name: "power",
+                        message: format!("must be positive and finite, got {power}"),
+                    });
+                }
+                if *samples_per_symbol == 0 {
+                    return Err(ScenarioError::InvalidParameter {
+                        name: "samples_per_symbol",
+                        message: "must be at least 1".into(),
+                    });
+                }
+                Ok(())
+            }
             ChannelStage::ImpulsiveNoise {
                 probability,
                 impulse_power,
@@ -210,6 +344,95 @@ impl ChannelStage {
                     Cplx::new(q(x.re), q(x.im))
                 })
                 .collect(),
+            ChannelStage::RayleighFading {
+                taps,
+                tap_spacing,
+                decay_db,
+                noise_power,
+            } => {
+                // Tap gains: independent CN(0, p_t) under an exponential
+                // power-delay profile normalised to unit expected energy.
+                let weights: Vec<f64> = (0..*taps)
+                    .map(|t| 10f64.powf(-(t as f64) * decay_db / 10.0))
+                    .collect();
+                let weight_sum: f64 = weights.iter().sum();
+                let draws = awgn(*taps, 1.0, mix_seed(seed, 0xFA0E_0021));
+                let gains: Vec<Cplx> = draws
+                    .iter()
+                    .zip(weights.iter())
+                    .map(|(&g, &w)| g * (w / weight_sum).sqrt())
+                    .collect();
+                let faded: Vec<Cplx> = (0..samples.len())
+                    .map(|t| {
+                        gains
+                            .iter()
+                            .enumerate()
+                            .filter(|(k, _)| t >= k * tap_spacing)
+                            .map(|(k, &h)| samples[t - k * tap_spacing] * h)
+                            .fold(Cplx::ZERO, |acc, x| acc + x)
+                    })
+                    .collect();
+                // The fade also attenuated (and coloured) the receiver
+                // noise that rode in on the samples; top the thermal floor
+                // back up to nominal with fresh white noise.
+                let energy: f64 = gains.iter().map(|h| h.norm_sqr()).sum();
+                let topup = ((1.0 - energy) * noise_power).max(0.0);
+                if topup > 0.0 {
+                    let floor = awgn(faded.len(), topup, mix_seed(seed, 0xFA0E_0022));
+                    faded
+                        .iter()
+                        .zip(floor.iter())
+                        .map(|(&s, &w)| s + w)
+                        .collect()
+                } else {
+                    faded
+                }
+            }
+            ChannelStage::LogNormalShadowing {
+                sigma_db,
+                noise_power,
+            } => {
+                // One dB-domain Gaussian draw per realisation, folded to
+                // attenuation (see the variant docs for why).
+                let normal = awgn(1, 2.0, mix_seed(seed, 0x5AAD_0057))[0].re;
+                let shadow_db = -(normal * sigma_db).abs();
+                let gain = 10f64.powf(shadow_db / 20.0);
+                let topup = (1.0 - gain * gain) * noise_power;
+                let floor = awgn(samples.len(), topup, mix_seed(seed, 0x5AAD_0058));
+                samples
+                    .iter()
+                    .zip(floor.iter())
+                    .map(|(&s, &w)| s * gain + w)
+                    .collect()
+            }
+            ChannelStage::AdjacentChannelInterferer {
+                offset,
+                power,
+                samples_per_symbol,
+            } => {
+                // An independent QPSK neighbour: random Gray symbols held
+                // for samples_per_symbol, mixed up to the offset.
+                let mut rng = StdRng::seed_from_u64(mix_seed(seed, 0xAD1A_CE17));
+                let symbols = samples.len().div_ceil(*samples_per_symbol);
+                let amplitude = power.sqrt();
+                let mut interferer = Vec::with_capacity(samples.len());
+                for _ in 0..symbols {
+                    let phase =
+                        std::f64::consts::FRAC_PI_4 * (2 * rng.gen_range(0..4u8) + 1) as f64;
+                    let symbol = Cplx::from_polar(amplitude, phase);
+                    for _ in 0..*samples_per_symbol {
+                        if interferer.len() < samples.len() {
+                            interferer.push(symbol);
+                        }
+                    }
+                }
+                let shifted = frequency_shift(&interferer, *offset, 0.0);
+                samples
+                    .iter()
+                    .zip(shifted.iter())
+                    .map(|(&s, &i)| s + i)
+                    .collect()
+            }
             ChannelStage::ImpulsiveNoise {
                 probability,
                 impulse_power,
@@ -288,6 +511,27 @@ impl ChannelPipeline {
     /// Propagates [`ChannelPipeline::validate`] failures.
     pub fn apply(&self, samples: Vec<Cplx>, seed: u64) -> Result<Vec<Cplx>, ScenarioError> {
         self.validate()?;
+        let mut current = samples;
+        for (index, stage) in self.stages.iter().enumerate() {
+            current = stage.apply(current, mix_seed(seed, index as u64));
+        }
+        Ok(current)
+    }
+
+    /// Applies all stages like [`ChannelPipeline::apply`], but without
+    /// requiring an AWGN stage: this is for impairment *overlays* applied
+    /// to an already-noisy observation — e.g. the per-sensor shadowing /
+    /// fading realisations of a cooperative fleet, where the thermal floor
+    /// was added once upstream and each sensor only adds its own local
+    /// distortion on top.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-stage validation failures.
+    pub fn impair(&self, samples: Vec<Cplx>, seed: u64) -> Result<Vec<Cplx>, ScenarioError> {
+        for stage in &self.stages {
+            stage.validate()?;
+        }
         let mut current = samples;
         for (index, stage) in self.stages.iter().enumerate() {
             current = stage.apply(current, mix_seed(seed, index as u64));
@@ -491,6 +735,170 @@ mod tests {
         .apply(vec![Cplx::ZERO; 65_536], 11)
         .unwrap();
         assert_eq!(noisy, again);
+    }
+
+    #[test]
+    fn rayleigh_fading_preserves_average_power_and_fades_realisations() {
+        let stage = ChannelStage::RayleighFading {
+            taps: 3,
+            tap_spacing: 2,
+            decay_db: 3.0,
+            noise_power: 1.0,
+        };
+        // Over many independent realisations of a noisy observation the
+        // average output power matches the input budget (signal fades,
+        // floor topped back up), while individual realisations vary.
+        let mut powers = Vec::new();
+        for trial in 0..48 {
+            let noisy = ChannelPipeline::awgn(10.0)
+                .apply(bpsk(2048, trial), mix_seed(99, trial))
+                .unwrap();
+            let p_in = signal_power(&noisy);
+            let faded = stage.apply(noisy, mix_seed(7, trial));
+            powers.push(signal_power(&faded) / p_in);
+        }
+        let mean: f64 = powers.iter().sum::<f64>() / powers.len() as f64;
+        assert!((mean - 1.0).abs() < 0.25, "mean relative power = {mean}");
+        let spread = powers.iter().cloned().fold(f64::MIN, f64::max)
+            - powers.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 0.2, "fades should vary, spread = {spread}");
+        // Deterministic per seed.
+        let noisy = ChannelPipeline::awgn(10.0).apply(bpsk(512, 1), 3).unwrap();
+        assert_eq!(
+            stage.apply(noisy.clone(), 11),
+            stage.apply(noisy.clone(), 11)
+        );
+        assert_ne!(stage.apply(noisy.clone(), 11), stage.apply(noisy, 12));
+    }
+
+    #[test]
+    fn shadowing_attenuates_signal_but_keeps_the_floor() {
+        let stage = ChannelStage::LogNormalShadowing {
+            sigma_db: 8.0,
+            noise_power: 1.0,
+        };
+        // A vacant band keeps its thermal floor through the shadow: the
+        // stage models an obstruction between transmitter and receiver,
+        // not inside the receiver.
+        let floor = ChannelPipeline::awgn(0.0)
+            .apply(vec![Cplx::ZERO; 65_536], 5)
+            .unwrap();
+        let shadowed = stage.apply(floor, 21);
+        let p = signal_power(&shadowed);
+        assert!((p - 1.0).abs() < 0.1, "floor power = {p}");
+        // A strong signal is attenuated in at least some realisations,
+        // and never amplified beyond its input power (0 dB clip).
+        let strong = ChannelPipeline::awgn(20.0).apply(bpsk(4096, 2), 6).unwrap();
+        let p_in = signal_power(&strong);
+        let mut attenuated = 0;
+        for trial in 0..32 {
+            let out = stage.apply(strong.clone(), mix_seed(40, trial));
+            let ratio = signal_power(&out) / p_in;
+            assert!(ratio < 1.1, "ratio = {ratio}");
+            if ratio < 0.5 {
+                attenuated += 1;
+            }
+        }
+        assert!(attenuated > 3, "deep shadows = {attenuated}/32");
+    }
+
+    #[test]
+    fn adjacent_interferer_adds_power_off_centre() {
+        let stage = ChannelStage::AdjacentChannelInterferer {
+            offset: 0.35,
+            power: 2.0,
+            samples_per_symbol: 4,
+        };
+        let floor = ChannelPipeline::awgn(0.0)
+            .apply(vec![Cplx::ZERO; 16_384], 9)
+            .unwrap();
+        let polluted = stage.apply(floor.clone(), 13);
+        // Total power = 1.0 thermal + 2.0 interferer.
+        let p = signal_power(&polluted);
+        assert!((p - 3.0).abs() < 0.3, "p = {p}");
+        // Deterministic per seed and actually different from the input.
+        assert_eq!(stage.apply(floor.clone(), 13), polluted);
+        assert_ne!(stage.apply(floor, 14), polluted);
+    }
+
+    #[test]
+    fn impair_applies_overlays_without_an_awgn_stage() {
+        let overlay = ChannelPipeline::new(vec![ChannelStage::LogNormalShadowing {
+            sigma_db: 6.0,
+            noise_power: 1.0,
+        }]);
+        // apply() refuses (no AWGN stage), impair() runs.
+        assert!(overlay.apply(bpsk(256, 1), 3).is_err());
+        let a = overlay.impair(bpsk(256, 1), 3).unwrap();
+        let b = overlay.impair(bpsk(256, 1), 3).unwrap();
+        assert_eq!(a, b);
+        // Still validates the stages themselves.
+        let bad = ChannelPipeline::new(vec![ChannelStage::LogNormalShadowing {
+            sigma_db: -1.0,
+            noise_power: 1.0,
+        }]);
+        assert!(bad.impair(bpsk(256, 1), 3).is_err());
+    }
+
+    #[test]
+    fn new_stage_validation_rejects_bad_parameters() {
+        assert!(ChannelStage::RayleighFading {
+            taps: 0,
+            tap_spacing: 1,
+            decay_db: 3.0,
+            noise_power: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ChannelStage::RayleighFading {
+            taps: 2,
+            tap_spacing: 0,
+            decay_db: 3.0,
+            noise_power: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ChannelStage::RayleighFading {
+            taps: 2,
+            tap_spacing: 1,
+            decay_db: -1.0,
+            noise_power: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ChannelStage::LogNormalShadowing {
+            sigma_db: f64::NAN,
+            noise_power: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ChannelStage::LogNormalShadowing {
+            sigma_db: 6.0,
+            noise_power: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(ChannelStage::AdjacentChannelInterferer {
+            offset: 0.7,
+            power: 1.0,
+            samples_per_symbol: 4
+        }
+        .validate()
+        .is_err());
+        assert!(ChannelStage::AdjacentChannelInterferer {
+            offset: 0.3,
+            power: 0.0,
+            samples_per_symbol: 4
+        }
+        .validate()
+        .is_err());
+        assert!(ChannelStage::AdjacentChannelInterferer {
+            offset: 0.3,
+            power: 1.0,
+            samples_per_symbol: 0
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -3,9 +3,12 @@
 //! [`SensingBackend`] surface.
 //!
 //! The harness runs any roster of [`BackendRecipe`]s — the built-in
-//! [`EnergyDetector`] baseline, the golden-model
-//! [`CyclostationaryDetector`], the full tiled-SoC sensing path (a
-//! [`SessionRecipe`] opening a `SensingSession` per worker), or any
+//! [`EnergyDetector`](cfd_dsp::detector::EnergyDetector) baseline, the
+//! golden-model
+//! [`CyclostationaryDetector`](cfd_dsp::detector::CyclostationaryDetector),
+//! the full tiled-SoC sensing path (a
+//! [`SessionRecipe`](cfd_core::backend::SessionRecipe) opening a
+//! `SensingSession` per worker), or any
 //! user-defined backend — over a [`RadioScenario`] at each SNR of a sweep,
 //! and tabulates the detection probability `Pd` (decide "occupied" under
 //! H1) and false-alarm probability `Pfa` (decide "occupied" under H0) per
@@ -43,13 +46,8 @@
 use crate::channel::mix_seed;
 use crate::error::ScenarioError;
 use crate::scenario::{Hypothesis, RadioScenario};
-use cfd_core::app::{CfdApplication, Platform};
-use cfd_core::backend::{BackendRecipe, Observation, SensingBackend, SessionRecipe};
-use cfd_core::sensing::SensingSession;
-use cfd_dsp::complex::Cplx;
-use cfd_dsp::detector::{
-    feature_statistic, CyclostationaryDetector, Detector, DetectorFactory, EnergyDetector,
-};
+use cfd_core::backend::{BackendRecipe, Observation, SensingBackend};
+use cfd_dsp::detector::feature_statistic;
 use cfd_dsp::scf::{ScfEngine, ScfMatrix, ScfParams};
 use cfd_dsp::signal::awgn;
 use std::collections::HashMap;
@@ -78,222 +76,6 @@ fn sweep_instruments() -> &'static SweepInstruments {
         trials: cfd_telemetry::counter("scenario.sweep.trials"),
         workers: cfd_telemetry::gauge("scenario.sweep.workers"),
     })
-}
-
-/// A detector replica of the closed pre-[`SensingBackend`] sweep engine.
-///
-/// The three variants cover the repository's built-in detection paths; the
-/// open surface they were replaced by accepts any [`SensingBackend`].
-#[deprecated(note = "build replicas from `BackendRecipe`s (any `SensingBackend` \
-                     participates in sweeps)")]
-#[allow(deprecated)]
-#[derive(Debug)]
-pub enum SweepDetector {
-    /// The energy-detector baseline of Cabric et al. \[7\].
-    Energy(EnergyDetector),
-    /// The golden-model cyclostationary feature detector (boxed replica
-    /// state: detector plus reusable DSCF scratch matrix).
-    Cyclostationary(Box<CfdReplica>),
-    /// The full sensing path on the simulated tiled SoC, configured once
-    /// for the lifetime of the replica.
-    TiledSoc(Box<SensingSession>),
-}
-
-/// Replica state of the golden-model CFD path: the calibrated detector
-/// (which owns the precomputed [`ScfEngine`]) plus a DSCF scratch matrix,
-/// so a replica allocates one matrix for its whole lifetime instead of one
-/// per decision.
-#[deprecated(
-    note = "the `SensingBackend` impl of `CyclostationaryDetector` decides \
-                     from the `Observation`'s cached DSCF and needs no scratch"
-)]
-#[derive(Debug)]
-pub struct CfdReplica {
-    /// The calibrated detector.
-    pub detector: CyclostationaryDetector,
-    /// DSCF matrix reused across every decision of this replica.
-    pub scratch: ScfMatrix,
-}
-
-#[allow(deprecated)]
-impl SweepDetector {
-    /// Stable label used in result tables.
-    pub fn label(&self) -> &'static str {
-        match self {
-            SweepDetector::Energy(_) => "energy",
-            SweepDetector::Cyclostationary(_) => "cfd",
-            SweepDetector::TiledSoc(_) => "cfd-soc",
-        }
-    }
-
-    /// Runs one decision: `true` means "band occupied".
-    ///
-    /// # Errors
-    ///
-    /// Propagates detector and platform errors.
-    pub fn decide(&mut self, samples: &[Cplx]) -> Result<bool, ScenarioError> {
-        Ok(match self {
-            SweepDetector::Energy(d) => d.detect(samples)?.decision.is_signal(),
-            SweepDetector::Cyclostationary(replica) => {
-                let CfdReplica { detector, scratch } = replica.as_mut();
-                detector.detect_into(samples, scratch)?.decision.is_signal()
-            }
-            // Explicit deref: `Box<SensingSession>` is itself a
-            // `SensingBackend`, so the inherent raw-sample `decide` must be
-            // named through the pointee.
-            SweepDetector::TiledSoc(session) => (**session).decide(samples)?.decision.is_signal(),
-        })
-    }
-
-    /// Runs one decision per observation, in order. The SoC path streams
-    /// the whole batch through its session (no per-decision platform
-    /// rebuild); the golden-model detectors decide observation by
-    /// observation.
-    ///
-    /// # Errors
-    ///
-    /// Propagates detector and platform errors.
-    pub fn decide_batch(&mut self, observations: &[&[Cplx]]) -> Result<Vec<bool>, ScenarioError> {
-        match self {
-            SweepDetector::TiledSoc(session) => {
-                Ok((**session).decide_batch(observations)?.decisions())
-            }
-            _ => observations
-                .iter()
-                .map(|samples| self.decide(samples))
-                .collect(),
-        }
-    }
-
-    /// How many times this replica's platform has been configured (`None`
-    /// for the platform-less golden-model detectors). Stays at 1 for the
-    /// lifetime of a SoC replica — the sweep engine configures per
-    /// session, not per decision.
-    pub fn configurations(&self) -> Option<u64> {
-        match self {
-            SweepDetector::TiledSoc(session) => Some(session.configurations()),
-            _ => None,
-        }
-    }
-}
-
-/// The closed recipe enum of the pre-[`BackendRecipe`] sweep engine.
-///
-/// It remains usable — it now implements [`BackendRecipe`], and the
-/// deprecated `evaluate_sweep*` shims route it through the open engine —
-/// but new code should pass calibrated detectors directly (every
-/// `Clone + Sync` [`SensingBackend`] is its own recipe) and
-/// [`SessionRecipe`] for the platform path.
-#[deprecated(
-    note = "pass `SensingBackend`s (or `cfd_core::backend::SessionRecipe`) \
-                     to `SweepBuilder` instead of wrapping them in this enum"
-)]
-#[derive(Debug, Clone)]
-pub enum SweepDetectorFactory {
-    /// Replicates a calibrated energy detector.
-    Energy(EnergyDetector),
-    /// Replicates a calibrated cyclostationary feature detector.
-    Cyclostationary(CyclostationaryDetector),
-    /// Opens a [`SensingSession`] over a freshly built tiled SoC.
-    TiledSoc {
-        /// The DSCF application to map onto the platform.
-        application: CfdApplication,
-        /// The platform to simulate.
-        platform: Platform,
-        /// Detector threshold on the normalised feature statistic.
-        threshold: f64,
-        /// Guard zone half-width around `a = 0`.
-        guard_offsets: usize,
-    },
-}
-
-#[allow(deprecated)]
-impl SweepDetectorFactory {
-    /// Convenience constructor for the SoC variant.
-    pub fn tiled_soc(
-        application: CfdApplication,
-        platform: &Platform,
-        threshold: f64,
-        guard_offsets: usize,
-    ) -> Self {
-        SweepDetectorFactory::TiledSoc {
-            application,
-            platform: platform.clone(),
-            threshold,
-            guard_offsets,
-        }
-    }
-
-    /// Stable label used in result tables (matches
-    /// [`SweepDetector::label`] of the built replica).
-    pub fn label(&self) -> &'static str {
-        match self {
-            SweepDetectorFactory::Energy(_) => "energy",
-            SweepDetectorFactory::Cyclostationary(_) => "cfd",
-            SweepDetectorFactory::TiledSoc { .. } => "cfd-soc",
-        }
-    }
-
-    /// Builds one independent replica.
-    ///
-    /// # Errors
-    ///
-    /// Propagates detector and platform construction errors.
-    pub fn build(&self) -> Result<SweepDetector, ScenarioError> {
-        Ok(match self {
-            SweepDetectorFactory::Energy(d) => SweepDetector::Energy(d.build_detector()?),
-            SweepDetectorFactory::Cyclostationary(d) => {
-                let detector = d.build_detector()?;
-                let scratch = ScfMatrix::zeros(detector.params().max_offset);
-                SweepDetector::Cyclostationary(Box::new(CfdReplica { detector, scratch }))
-            }
-            SweepDetectorFactory::TiledSoc {
-                application,
-                platform,
-                threshold,
-                guard_offsets,
-            } => SweepDetector::TiledSoc(Box::new(SensingSession::new(
-                application.clone(),
-                platform,
-                *threshold,
-                *guard_offsets,
-            )?)),
-        })
-    }
-}
-
-/// The factory enum plugs into the open engine: each variant builds the
-/// same backend the enum used to drive directly, so sweeps over factories
-/// are decision-identical to sweeps over the equivalent recipes.
-#[allow(deprecated)]
-impl BackendRecipe for SweepDetectorFactory {
-    fn label(&self) -> String {
-        SweepDetectorFactory::label(self).to_string()
-    }
-
-    fn build(&self) -> Result<Box<dyn SensingBackend>, cfd_core::error::CfdError> {
-        Ok(match self {
-            SweepDetectorFactory::Energy(d) => Box::new(d.clone()),
-            SweepDetectorFactory::Cyclostationary(d) => Box::new(d.clone()),
-            SweepDetectorFactory::TiledSoc {
-                application,
-                platform,
-                threshold,
-                guard_offsets,
-            } => {
-                // One construction path for platform sessions: the open
-                // SessionRecipe builds the replica for both API
-                // generations.
-                return SessionRecipe::new(
-                    application.clone(),
-                    platform,
-                    *threshold,
-                    *guard_offsets,
-                )
-                .build();
-            }
-        })
-    }
 }
 
 /// The SNR sweep a scenario is evaluated over.
@@ -492,14 +274,15 @@ pub const ROC_JSON_SCHEMA: u64 = 2;
 
 /// Builds and runs an SNR sweep over any roster of [`SensingBackend`]s.
 ///
-/// This replaces the positional-argument `evaluate_sweep*` free functions:
-/// the scenario, the sweep, the backend roster and the worker count are
+/// The scenario, the sweep, the backend roster and the worker count are
 /// named, and the roster is *open* — any type implementing
 /// [`BackendRecipe`] joins the parallel engine, so a detector defined
 /// outside this workspace participates in ROC sweeps without touching any
-/// crate here. Calibrated `Clone + Sync` backends (e.g. [`EnergyDetector`],
-/// [`CyclostationaryDetector`]) are their own recipes and can be passed
-/// directly; the tiled-SoC path is described by a [`SessionRecipe`].
+/// crate here. Calibrated `Clone + Sync` backends (e.g.
+/// [`EnergyDetector`](cfd_dsp::detector::EnergyDetector),
+/// [`CyclostationaryDetector`](cfd_dsp::detector::CyclostationaryDetector))
+/// are their own recipes and can be passed directly; the tiled-SoC path is
+/// described by a [`SessionRecipe`](cfd_core::backend::SessionRecipe).
 ///
 /// # Examples
 ///
@@ -651,7 +434,7 @@ enum WorkerMessage {
 /// Builds one replica per recipe, in roster order.
 fn build_replicas(
     recipes: &[&dyn BackendRecipe],
-) -> Result<Vec<Box<dyn SensingBackend>>, ScenarioError> {
+) -> Result<Vec<Box<dyn SensingBackend + Send>>, ScenarioError> {
     recipes
         .iter()
         .map(|recipe| recipe.build().map_err(ScenarioError::from))
@@ -863,7 +646,7 @@ fn sweep_serial_over_recipes(
 fn evaluate_cell(
     scenario: &RadioScenario,
     scenarios_at: &[RadioScenario],
-    replicas: &mut [Box<dyn SensingBackend>],
+    replicas: &mut [Box<dyn SensingBackend + Send>],
     observation: &mut Observation,
     cell: SweepCell,
 ) -> Result<Vec<usize>, ScenarioError> {
@@ -928,59 +711,6 @@ fn recipe_labels(recipes: &[&dyn BackendRecipe]) -> Vec<String> {
             }
         })
         .collect()
-}
-
-/// Runs every detector over every SNR point of the sweep, in parallel over
-/// all available cores.
-///
-/// # Errors
-///
-/// Propagates observation, detector-construction and detector errors.
-#[deprecated(note = "use `SweepBuilder::new(scenario).sweep(…).backend(…).run()`")]
-#[allow(deprecated)]
-pub fn evaluate_sweep(
-    scenario: &RadioScenario,
-    sweep: &SnrSweep,
-    detectors: &[SweepDetectorFactory],
-) -> Result<RocTable, ScenarioError> {
-    let recipes: Vec<&dyn BackendRecipe> =
-        detectors.iter().map(|d| d as &dyn BackendRecipe).collect();
-    sweep_over_recipes(scenario, sweep, &recipes, default_workers())
-}
-
-/// [`evaluate_sweep`] with an explicit worker count (1 runs the serial
-/// path). The table is the same for every worker count.
-///
-/// # Errors
-///
-/// Propagates observation, detector-construction and detector errors.
-#[deprecated(note = "use `SweepBuilder` with `SweepBuilder::workers`")]
-#[allow(deprecated)]
-pub fn evaluate_sweep_with_workers(
-    scenario: &RadioScenario,
-    sweep: &SnrSweep,
-    detectors: &[SweepDetectorFactory],
-    workers: usize,
-) -> Result<RocTable, ScenarioError> {
-    let recipes: Vec<&dyn BackendRecipe> =
-        detectors.iter().map(|d| d as &dyn BackendRecipe).collect();
-    sweep_over_recipes(scenario, sweep, &recipes, workers)
-}
-
-/// The single-threaded reference sweep; produces the same table as
-/// [`evaluate_sweep`], bit for bit.
-///
-/// # Errors
-///
-/// Propagates observation, detector-construction and detector errors.
-#[deprecated(note = "use `SweepBuilder` with `SweepBuilder::workers(1)`")]
-#[allow(deprecated)]
-pub fn evaluate_sweep_serial(
-    scenario: &RadioScenario,
-    sweep: &SnrSweep,
-    detectors: &[SweepDetectorFactory],
-) -> Result<RocTable, ScenarioError> {
-    evaluate_sweep_with_workers(scenario, sweep, detectors, 1)
 }
 
 /// Calibrates a threshold for the cyclostationary feature statistic at a
@@ -1054,7 +784,9 @@ pub fn calibrate_cfd_threshold(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cfd_core::backend::Decision;
+    use cfd_core::app::{CfdApplication, Platform};
+    use cfd_core::backend::{Decision, SessionRecipe};
+    use cfd_dsp::detector::{CyclostationaryDetector, EnergyDetector};
 
     fn small_scenario() -> RadioScenario {
         RadioScenario::preset(
@@ -1142,86 +874,6 @@ mod tests {
     }
 
     #[test]
-    fn sweeps_over_legacy_factories_match_the_open_engine() {
-        // The deprecated evaluate_sweep* entry points route the factory
-        // enum through BackendRecipe; the tables must equal a SweepBuilder
-        // run over the equivalent open-API roster, bit for bit.
-        let scenario = small_scenario();
-        let len = scenario.observation_len;
-        let sweep = SnrSweep::new(vec![-5.0, 5.0], 6).unwrap();
-        #[allow(deprecated)]
-        let legacy = {
-            let factories = vec![
-                SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.1, len).unwrap()),
-                SweepDetectorFactory::Cyclostationary(cfd(0.35)),
-                SweepDetectorFactory::tiled_soc(
-                    CfdApplication::new(32, 7, 32).unwrap(),
-                    &Platform::paper(),
-                    0.35,
-                    1,
-                ),
-            ];
-            let parallel = evaluate_sweep(&scenario, &sweep, &factories).unwrap();
-            assert_eq!(
-                parallel,
-                evaluate_sweep_serial(&scenario, &sweep, &factories).unwrap()
-            );
-            assert_eq!(
-                parallel,
-                evaluate_sweep_with_workers(&scenario, &sweep, &factories, 3).unwrap()
-            );
-            parallel
-        };
-        let open = SweepBuilder::new(&scenario)
-            .sweep(sweep)
-            .backend(EnergyDetector::new(1.0, 0.1, len).unwrap())
-            .backend(cfd(0.35))
-            .backend(soc_recipe(0.35))
-            .workers(3)
-            .run()
-            .unwrap();
-        assert_eq!(legacy, open);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn soc_replicas_configure_once_per_session() {
-        // The sweep engine's SoC path must configure the platform once per
-        // replica (session), no matter how many decisions stream through.
-        let scenario = small_scenario();
-        let factory = SweepDetectorFactory::tiled_soc(
-            CfdApplication::new(32, 7, 32).unwrap(),
-            &Platform::paper(),
-            0.35,
-            1,
-        );
-        let mut replica = factory.build().unwrap();
-        let observations: Vec<_> = (0..6)
-            .map(|trial| {
-                scenario
-                    .observe(
-                        if trial % 2 == 0 {
-                            Hypothesis::Occupied
-                        } else {
-                            Hypothesis::Vacant
-                        },
-                        trial,
-                    )
-                    .unwrap()
-            })
-            .collect();
-        let batch: Vec<&[Cplx]> = observations.iter().map(|o| o.samples.as_slice()).collect();
-        replica.decide_batch(&batch[..3]).unwrap();
-        replica.decide_batch(&batch[3..]).unwrap();
-        assert_eq!(replica.configurations(), Some(1));
-        // Golden-model detectors have no platform to configure.
-        let golden = SweepDetectorFactory::Cyclostationary(cfd(0.35))
-            .build()
-            .unwrap();
-        assert_eq!(golden.configurations(), None);
-    }
-
-    #[test]
     fn observations_share_spectra_across_backends_per_params() {
         let scenario = small_scenario();
         let trial_observation = scenario.observe(Hypothesis::Occupied, 0).unwrap();
@@ -1257,47 +909,6 @@ mod tests {
         assert_eq!(observation.computed(), 0);
         SensingBackend::decide(&mut same_a, &mut observation).unwrap();
         assert_eq!(observation.computed(), 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn backend_decisions_match_the_legacy_replica_paths() {
-        // The open SensingBackend path must decide exactly like the legacy
-        // SweepDetector it replaced, for every built-in detector kind.
-        let scenario = small_scenario();
-        let factories = [
-            SweepDetectorFactory::Energy(
-                EnergyDetector::new(1.0, 0.05, scenario.observation_len).unwrap(),
-            ),
-            SweepDetectorFactory::Cyclostationary(cfd(0.35)),
-            SweepDetectorFactory::tiled_soc(
-                CfdApplication::new(32, 7, 32).unwrap(),
-                &Platform::paper(),
-                0.35,
-                1,
-            ),
-        ];
-        for trial in 0..3 {
-            let hypothesis = if trial % 2 == 0 {
-                Hypothesis::Occupied
-            } else {
-                Hypothesis::Vacant
-            };
-            let trial_observation = scenario.observe(hypothesis, trial).unwrap();
-            for factory in &factories {
-                let mut legacy_raw = factory.build().unwrap();
-                let mut backend = BackendRecipe::build(factory).unwrap();
-                let mut observation = Observation::new();
-                observation.load(&trial_observation.samples);
-                let decision = backend.decide(&mut observation).unwrap();
-                assert_eq!(
-                    legacy_raw.decide(&trial_observation.samples).unwrap(),
-                    decision.is_signal(),
-                    "{} diverged from the raw-sample path on trial {trial}",
-                    factory.label()
-                );
-            }
-        }
     }
 
     #[test]
@@ -1416,39 +1027,6 @@ mod tests {
              \"pd\":0.6,\"pfa\":0.125,\"trials\":8}]}"
         );
         assert_eq!(RocTable::default().to_json(), "{\"schema\":2,\"rows\":[]}");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn factory_labels_match_replica_and_recipe_labels() {
-        // `recipe_labels` reads the recipe's label while tables could be
-        // cross-referenced against replicas: the label sources must not
-        // drift apart.
-        let factories = [
-            SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.05, 512).unwrap()),
-            SweepDetectorFactory::Cyclostationary(cfd(0.35)),
-            SweepDetectorFactory::tiled_soc(
-                CfdApplication::new(32, 7, 32).unwrap(),
-                &Platform::paper(),
-                0.35,
-                1,
-            ),
-        ];
-        for factory in &factories {
-            assert_eq!(factory.label(), factory.build().unwrap().label());
-            assert_eq!(factory.label(), BackendRecipe::label(factory));
-            assert_eq!(
-                BackendRecipe::label(factory),
-                BackendRecipe::build(factory).unwrap().label()
-            );
-        }
-        // The open-API equivalents use the same labels.
-        assert_eq!(
-            SensingBackend::label(&EnergyDetector::new(1.0, 0.05, 512).unwrap()),
-            "energy"
-        );
-        assert_eq!(SensingBackend::label(&cfd(0.35)), "cfd");
-        assert_eq!(BackendRecipe::label(&soc_recipe(0.35)), "cfd-soc");
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //!   signatures: BPSK/QPSK pulse trains with configurable symbol rate and
 //!   carrier offset, an OFDM-like pilot signal, and the vacant band;
 //! * [`channel`] — composable channel impairments: AWGN at a target SNR,
-//!   carrier/LO frequency offset, two-ray multipath, and Q15 ADC
-//!   quantisation (reusing `cfd-dsp::fixed`);
+//!   carrier/LO frequency offset, two-ray multipath, Q15 ADC quantisation
+//!   (reusing `cfd-dsp::fixed`), impulsive noise, frequency-selective
+//!   Rayleigh fading, log-normal shadowing, and an adjacent-channel
+//!   interferer;
 //! * [`scenario`] — named presets, the deterministic Monte-Carlo trial
 //!   runner, and SNR retargeting with common random numbers;
 //! * [`eval`] — the parallel batched sweep engine producing Pd/Pfa ROC
@@ -24,6 +26,11 @@
 //!   and `(snr_point, trial)` cells are distributed over a crossbeam work
 //!   queue — bit-identical for every worker count thanks to common random
 //!   numbers;
+//! * [`cooperative`] — cooperative sensing against a *live* primary user:
+//!   [`CooperativeSweep`] drives any backend (including a whole
+//!   `cfd_core::fusion::FusionCenter` fleet) along a Markov on/off
+//!   occupancy trace and reports detection delay and
+//!   interference-to-primary alongside Pd/Pfa;
 //! * [`service_traffic`] — many-channel traffic synthesis for the
 //!   `cfd_core::service` scheduler: one preset scenario per channel with
 //!   Markov-style activity bursts, emitted as an interleaved slot-major
@@ -65,6 +72,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod channel;
+pub mod cooperative;
 pub mod error;
 pub mod eval;
 pub mod scenario;
@@ -72,12 +80,8 @@ pub mod service_traffic;
 pub mod signal;
 
 pub use channel::{ChannelPipeline, ChannelStage};
+pub use cooperative::{CooperativeReport, CooperativeSweep};
 pub use error::ScenarioError;
-#[allow(deprecated)]
-pub use eval::{
-    evaluate_sweep, evaluate_sweep_serial, evaluate_sweep_with_workers, CfdReplica, SweepDetector,
-    SweepDetectorFactory,
-};
 pub use eval::{RocRow, RocTable, SnrSweep, SweepBuilder};
 pub use scenario::{Hypothesis, RadioScenario, ScenarioObservation};
 pub use service_traffic::{ActivityModel, ServiceTraffic, TrafficEvent};
@@ -86,13 +90,9 @@ pub use signal::SignalModel;
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::channel::{ChannelPipeline, ChannelStage};
+    pub use crate::cooperative::{CooperativeReport, CooperativeSweep};
     pub use crate::error::ScenarioError;
     pub use crate::eval::{calibrate_cfd_threshold, RocRow, RocTable, SnrSweep, SweepBuilder};
-    #[allow(deprecated)]
-    pub use crate::eval::{
-        evaluate_sweep, evaluate_sweep_serial, evaluate_sweep_with_workers, SweepDetector,
-        SweepDetectorFactory,
-    };
     pub use crate::scenario::{Hypothesis, RadioScenario, ScenarioObservation};
     pub use crate::service_traffic::{ActivityModel, ServiceTraffic, TrafficEvent};
     pub use crate::signal::SignalModel;

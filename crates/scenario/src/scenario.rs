@@ -172,6 +172,8 @@ impl RadioScenario {
             "ofdm-pilot",
             "bpsk-adc",
             "bpsk-impulsive",
+            "bpsk-rayleigh-shadowed",
+            "ofdm-adjacent-interferer",
         ]
     }
 
@@ -261,6 +263,55 @@ impl RadioScenario {
                         noise_power: 1.0,
                     },
                     ChannelStage::Quantize { full_scale: 4.0 },
+                ]),
+                observation_len,
+            ),
+            // BPSK behind a 3-tap Rayleigh channel and 6 dB log-normal
+            // shadowing — the low-SNR obstruction regime that motivates
+            // cooperative sensing: any one realisation may sit in a deep
+            // fade while the fleet as a whole still sees the signal.
+            "bpsk-rayleigh-shadowed" => RadioScenario::new(
+                name,
+                SignalModel::bpsk(),
+                ChannelPipeline::new(vec![
+                    ChannelStage::Awgn {
+                        snr_db: 0.0,
+                        noise_power: 1.0,
+                    },
+                    ChannelStage::RayleighFading {
+                        taps: 3,
+                        tap_spacing: 2,
+                        decay_db: 3.0,
+                        noise_power: 1.0,
+                    },
+                    ChannelStage::LogNormalShadowing {
+                        sigma_db: 6.0,
+                        noise_power: 1.0,
+                    },
+                ]),
+                observation_len,
+            ),
+            // The OFDM licensed user next to a strong QPSK neighbour 0.35
+            // cycles/sample away: the interferer triples the received
+            // power (fooling an energy statistic) but carries a different
+            // cyclic signature.
+            "ofdm-adjacent-interferer" => RadioScenario::new(
+                name,
+                SignalModel::OfdmPilot {
+                    subcarriers: 16,
+                    cyclic_prefix: 4,
+                    pilot_spacing: 4,
+                },
+                ChannelPipeline::new(vec![
+                    ChannelStage::Awgn {
+                        snr_db: 0.0,
+                        noise_power: 1.0,
+                    },
+                    ChannelStage::AdjacentChannelInterferer {
+                        offset: 0.35,
+                        power: 2.0,
+                        samples_per_symbol: 4,
+                    },
                 ]),
                 observation_len,
             ),

@@ -118,16 +118,16 @@ impl TrafficEvent {
 /// A deterministic SplitMix64 stream for the per-channel activity and
 /// hypothesis draws (independent of the observation randomness, which
 /// lives in the per-channel [`RadioScenario`] seeds).
-struct SplitMix {
+pub(crate) struct SplitMix {
     state: u64,
 }
 
 impl SplitMix {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         SplitMix { state: seed }
     }
 
-    fn next_u64(&mut self) -> u64 {
+    pub(crate) fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -136,7 +136,7 @@ impl SplitMix {
     }
 
     /// Uniform in `[0, 1)`.
-    fn next_f64(&mut self) -> f64 {
+    pub(crate) fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 }

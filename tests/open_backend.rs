@@ -94,7 +94,7 @@ impl BackendRecipe for VotingRecipe {
         "either-vote".into()
     }
 
-    fn build(&self) -> Result<Box<dyn SensingBackend>, CfdError> {
+    fn build(&self) -> Result<Box<dyn SensingBackend + Send>, CfdError> {
         Ok(Box::new(VotingBackend {
             energy: EnergyDetector::new(1.0, 0.1, self.observation_len)?,
             cfd: CyclostationaryDetector::new(self.params.clone(), 0.35, 1)?,

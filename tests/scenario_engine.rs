@@ -1,12 +1,8 @@
 //! Property-based tests over the scenario engine: SNR accuracy of the AWGN
 //! channel, seeded reproducibility of Monte-Carlo trials, monotonicity of
-//! the energy detector's detection probability in SNR, bit-exact
-//! equivalence of the parallel sweep engine with its serial reference, and
-//! bit-exact decision-identity of the redesigned `SensingBackend` path
-//! with the legacy raw-sample `SweepDetector::decide` path for every
-//! detector kind.
+//! the energy detector's detection probability in SNR, and bit-exact
+//! equivalence of the parallel sweep engine with its serial reference.
 
-use cfd_core::app::{CfdApplication, Platform};
 use cfd_dsp::detector::{CyclostationaryDetector, EnergyDetector};
 use cfd_dsp::scf::ScfParams;
 use cfd_dsp::signal::signal_power;
@@ -125,68 +121,6 @@ proptest! {
                 preset,
                 workers
             );
-        }
-    }
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// The redesigned `SensingBackend` path is decision-identical to the
-    /// legacy raw-sample `SweepDetector::decide` path, for **every**
-    /// detector kind (energy, golden-model CFD, tiled SoC) in **every**
-    /// preset, under both hypotheses: redesigning the surface changed
-    /// where the FFT runs and how results are reported, never what is
-    /// decided. (Kept at 8 cases: each builds SoC replicas, i.e. whole
-    /// simulated platforms.)
-    #[test]
-    #[allow(deprecated)]
-    fn backend_decisions_match_legacy_paths_for_every_preset(
-        seed in 0u64..1000,
-        trial in 0usize..20,
-    ) {
-        let params = ScfParams::new(32, 7, 8).unwrap();
-        let len = params.samples_needed();
-        let factories = vec![
-            SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.1, len).unwrap()),
-            SweepDetectorFactory::Cyclostationary(
-                CyclostationaryDetector::new(params.clone(), 0.35, 1).unwrap(),
-            ),
-            SweepDetectorFactory::tiled_soc(
-                CfdApplication::new(32, 7, 8).unwrap(),
-                &Platform::paper(),
-                0.35,
-                1,
-            ),
-        ];
-        for preset in RadioScenario::preset_names() {
-            let scenario = RadioScenario::preset(preset, len)
-                .expect("built-in preset")
-                .with_seed(seed);
-            for hypothesis in [Hypothesis::Occupied, Hypothesis::Vacant] {
-                let trial_observation = scenario.observe(hypothesis, trial).unwrap();
-                let mut observation = Observation::new();
-                observation.load(&trial_observation.samples);
-                for factory in &factories {
-                    let mut legacy_raw = factory.build().unwrap();
-                    let mut backend = BackendRecipe::build(factory).unwrap();
-                    let decision = backend.decide(&mut observation).unwrap();
-                    prop_assert_eq!(
-                        legacy_raw.decide(&trial_observation.samples).unwrap(),
-                        decision.is_signal(),
-                        "{} diverged from decide() on preset {} ({:?}, trial {})",
-                        factory.label(),
-                        preset,
-                        hypothesis,
-                        trial
-                    );
-                    // The structured decision is internally consistent.
-                    prop_assert_eq!(
-                        decision.is_signal(),
-                        decision.statistic > decision.threshold
-                    );
-                }
-            }
         }
     }
 }

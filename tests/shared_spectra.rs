@@ -1,8 +1,6 @@
 //! Pins the sweep engine's shared-spectra contract: block spectra are
 //! computed **once per trial**, not once per backend replica, on both the
-//! serial and the parallel execution path — and identically through the
-//! redesigned `SensingBackend` surface and the legacy `evaluate_sweep*`
-//! shims.
+//! serial and the parallel execution path of the `SensingBackend` surface.
 //!
 //! This lives in its own integration-test binary on purpose — the
 //! `core.observation.spectra_computations` registry counter is
@@ -29,8 +27,7 @@ fn spectra_computations() -> u64 {
 }
 
 #[test]
-#[allow(deprecated)]
-fn spectra_are_computed_once_per_trial_on_both_api_generations() {
+fn spectra_are_computed_once_per_trial_on_serial_and_parallel_paths() {
     let len = params().samples_needed();
     let scenario = RadioScenario::preset("bpsk-awgn", len)
         .expect("built-in preset")
@@ -83,45 +80,4 @@ fn spectra_are_computed_once_per_trial_on_both_api_generations() {
         "parallel sweep must compute spectra once per observation"
     );
     assert_eq!(serial, parallel);
-
-    // --- The deprecated evaluate_sweep* shims --------------------------
-    // They now route through the open engine; the counter contract (and
-    // the table) must be unchanged.
-    let detectors = vec![
-        SweepDetectorFactory::Energy(EnergyDetector::new(1.0, 0.1, len).unwrap()),
-        SweepDetectorFactory::Cyclostationary(
-            CyclostationaryDetector::new(params(), 0.25, 1).unwrap(),
-        ),
-        SweepDetectorFactory::Cyclostationary(
-            CyclostationaryDetector::new(params(), 0.45, 1).unwrap(),
-        ),
-        SweepDetectorFactory::tiled_soc(
-            CfdApplication::new(32, 7, 16).unwrap(),
-            &Platform::paper(),
-            0.35,
-            1,
-        ),
-    ];
-
-    let before_legacy = spectra_computations();
-    let legacy_serial = evaluate_sweep_serial(&scenario, &sweep, &detectors).unwrap();
-    let after_legacy_serial = spectra_computations();
-    assert_eq!(
-        (after_legacy_serial - before_legacy) as usize,
-        observations,
-        "legacy serial sweep must compute spectra once per observation"
-    );
-
-    let legacy_parallel = evaluate_sweep_with_workers(&scenario, &sweep, &detectors, 3).unwrap();
-    let after_legacy_parallel = spectra_computations();
-    assert_eq!(
-        (after_legacy_parallel - after_legacy_serial) as usize,
-        observations,
-        "legacy parallel sweep must compute spectra once per observation"
-    );
-    assert_eq!(legacy_serial, legacy_parallel);
-
-    // The legacy tables equal the open-API tables over the equivalent
-    // roster (bit for bit — same engine underneath).
-    assert_eq!(legacy_serial, serial);
 }
